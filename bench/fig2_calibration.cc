@@ -1,0 +1,105 @@
+// Regenerates Fig. 2: quantum-length calibration per application type.
+//
+// Panels (a)-(f): for each type's representative micro-benchmark, run the
+// §3.4.1 rig (baseline VM + disturbers, 2 and 4 vCPUs per pCPU) under fixed
+// quanta {1,10,30,60,90} ms and print performance normalized to the Xen
+// default (30 ms). Values < 1 mean the quantum beats the default — the
+// paper's "smaller is better" bars. Results are averaged over seeds.
+//
+// Rightmost plot: spin-lock contention cost vs quantum for the ConSpin rig
+// at 4 vCPUs per pCPU (lock acquisition delay and hold duration grow with
+// the quantum as holders/stragglers are descheduled for O(quantum)).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/calibration.h"
+#include "src/experiment/runner.h"
+#include "src/experiment/scenarios.h"
+#include "src/metrics/table.h"
+
+namespace aql {
+namespace {
+
+constexpr uint64_t kSeeds[] = {11, 23, 47};
+
+double MeanPrimary(const std::string& app, int density, TimeNs quantum) {
+  double sum = 0;
+  for (uint64_t seed : kSeeds) {
+    ScenarioSpec spec = CalibrationRig(app, density, seed);
+    spec.measure = Sec(10);
+    ScenarioResult r = RunScenario(spec, PolicySpec::Xen(quantum));
+    sum += r.GroupPrimary(app);
+  }
+  return sum / static_cast<double>(std::size(kSeeds));
+}
+
+struct Panel {
+  const char* label;
+  const char* app;
+};
+
+void RunPanels() {
+  const Panel panels[] = {
+      {"(a) Excl. IOInt", "pure_io"},    {"(b) Hetero. IOInt", "wordpress"},
+      {"(c) ConSpin", "kernbench"},      {"(d) LLCF", "llcf_list"},
+      {"(e) LoLCF", "lolcf_list"},       {"(f) LLCO", "llco_list"},
+  };
+  const std::vector<TimeNs>& grid = CalibrationQuantumGrid();
+
+  TextTable table({"panel", "app", "#vCPU/pCPU", "1ms", "10ms", "30ms", "60ms", "90ms"});
+  for (const Panel& p : panels) {
+    for (int density : {2, 4}) {
+      const double base_cost = MeanPrimary(p.app, density, Ms(30));
+      std::vector<std::string> row = {p.label, p.app, std::to_string(density)};
+      for (TimeNs q : grid) {
+        if (q == Ms(30)) {
+          row.push_back("1.00");
+          continue;
+        }
+        row.push_back(TextTable::Num(MeanPrimary(p.app, density, q) / base_cost, 2));
+      }
+      table.AddRow(row);
+    }
+  }
+  std::printf("Fig. 2 (a)-(f): normalized performance vs quantum "
+              "(1.00 = Xen default 30ms; smaller is better)\n%s\n",
+              table.ToString().c_str());
+}
+
+void RunLockDuration() {
+  TextTable table({"quantum", "acq. delay mean (us)", "hold mean (us)", "spin CPU (ms)",
+                   "barrier wait (ms)"});
+  for (TimeNs q : {Ms(20), Ms(40), Ms(60), Ms(80)}) {
+    double wait = 0;
+    double hold = 0;
+    double spin = 0;
+    double barrier = 0;
+    for (uint64_t seed : kSeeds) {
+      ScenarioSpec spec = CalibrationRig("kernbench", 4, seed);
+      spec.measure = Sec(10);
+      ScenarioResult r = RunScenario(spec, PolicySpec::Xen(q));
+      const GroupPerf& g = FindGroup(r.groups, "kernbench");
+      wait += g.metrics.at("lock_wait_mean_us");
+      hold += g.metrics.at("lock_hold_mean_us");
+      spin += g.metrics.at("spin_time_ms");
+      barrier += g.metrics.at("barrier_wait_ms");
+    }
+    const double n = static_cast<double>(std::size(kSeeds));
+    table.AddRow({TextTable::Num(ToMs(q), 0) + "ms", TextTable::Num(wait / n, 1),
+                  TextTable::Num(hold / n, 1), TextTable::Num(spin / n, 1),
+                  TextTable::Num(barrier / n, 1)});
+  }
+  std::printf("Fig. 2 (rightmost): lock contention vs quantum (ConSpin, 4 vCPU/pCPU)\n%s\n",
+              table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace aql
+
+int main() {
+  aql::RunPanels();
+  aql::RunLockDuration();
+  return 0;
+}

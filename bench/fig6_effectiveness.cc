@@ -1,0 +1,73 @@
+// Regenerates Fig. 6: AQL_Sched effectiveness vs the default Xen scheduler.
+//
+// Left: colocation scenarios S1-S5 (Table 4) on the single-socket machine —
+// per-application performance under AQL_Sched normalized to Xen (30 ms);
+// values < 1 mean AQL wins, LoLCF/LLCO are expected around 1.0
+// (quantum-agnostic).
+//
+// Right: the 4-socket complex case of §3.5 (48 vCPUs: 12 IOInt+,
+// 7 ConSpin-, 17 LLCF, 12 LLCO on 3 application sockets), including the
+// clusters AQL formed.
+
+#include <cstdio>
+#include <string>
+
+#include "src/experiment/runner.h"
+#include "src/experiment/scenarios.h"
+#include "src/metrics/table.h"
+#include "src/workload/catalog.h"
+
+namespace aql {
+namespace {
+
+void RunSingleSocket() {
+  TextTable table({"scenario", "application", "type", "Xen(30ms)", "AQL_Sched",
+                   "normalized"});
+  for (int s = 1; s <= 5; ++s) {
+    ScenarioSpec spec = ColocationScenario(s);
+    spec.measure = Sec(10);
+    ScenarioResult xen = RunScenario(spec, PolicySpec::Xen());
+    ScenarioResult aql = RunScenario(spec, PolicySpec::Aql());
+    for (const GroupPerf& g : xen.groups) {
+      const GroupPerf& a = FindGroup(aql.groups, g.name);
+      table.AddRow({spec.name, g.name, VcpuTypeName(FindApp(g.name).expected_type),
+                    TextTable::Num(g.primary, 2), TextTable::Num(a.primary, 2),
+                    TextTable::Num(NormalizedPerf(a, g), 2)});
+    }
+  }
+  std::printf("Fig. 6 (left): S1-S5 on the single-socket machine "
+              "(normalized to Xen 30ms; smaller is better)\n%s\n",
+              table.ToString().c_str());
+}
+
+void RunFourSocket() {
+  ScenarioSpec spec = FourSocketScenario();
+  spec.measure = Sec(10);
+  ScenarioResult xen = RunScenario(spec, PolicySpec::Xen());
+  ScenarioResult aql = RunScenario(spec, PolicySpec::Aql());
+
+  TextTable table({"application", "role", "Xen(30ms)", "AQL_Sched", "normalized"});
+  const char* roles[] = {"IOInt+", "ConSpin-", "LLCF", "LLCO"};
+  int i = 0;
+  for (const GroupPerf& g : xen.groups) {
+    const GroupPerf& a = FindGroup(aql.groups, g.name);
+    table.AddRow({g.name, roles[i++ % 4], TextTable::Num(g.primary, 2),
+                  TextTable::Num(a.primary, 2), TextTable::Num(NormalizedPerf(a, g), 2)});
+  }
+  std::printf("Fig. 6 (right): the 4-socket complex case (§3.5)\n%s\n",
+              table.ToString().c_str());
+  std::printf("clusters formed by AQL_Sched (cf. Fig. 3):\n");
+  for (const std::string& label : aql.pool_labels) {
+    std::printf("  %s\n", label.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace aql
+
+int main() {
+  aql::RunSingleSocket();
+  aql::RunFourSocket();
+  return 0;
+}

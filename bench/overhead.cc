@@ -1,0 +1,104 @@
+// Regenerates §4.3: AQL_Sched's overhead.
+//
+// Two complementary measurements:
+//  1. In-simulation: the bookkeeping cost the controller charges (recognition
+//     + clustering, O(max(#pCPUs, #vCPUs)) per decision) as a fraction of
+//     machine capacity, and the end-to-end performance delta of running the
+//     whole AQL machinery on a homogeneous workload that gains nothing from
+//     it (the paper reports < 1% degradation).
+//  2. Wall-clock micro-benchmarks (google-benchmark) of the controller's hot
+//     paths: cursor computation, vTRS observation, two-level clustering.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/aql_controller.h"
+#include "src/core/clustering.h"
+#include "src/core/cursors.h"
+#include "src/core/vtrs.h"
+#include "src/experiment/runner.h"
+#include "src/experiment/scenarios.h"
+#include "src/metrics/table.h"
+
+namespace aql {
+namespace {
+
+void InSimReport() {
+  // Homogeneous LoLCF workload: AQL can only add overhead here.
+  ScenarioSpec spec;
+  spec.machine = SingleSocketMachine(4);
+  spec.name = "overhead_probe";
+  spec.vms = {{"hmmer", 8}, {"gobmk", 8}};
+  spec.measure = Sec(10);
+
+  ScenarioResult xen = RunScenario(spec, PolicySpec::Xen());
+  ScenarioResult aql = RunScenario(spec, PolicySpec::Aql());
+
+  TextTable table({"metric", "value"});
+  const double degradation =
+      NormalizedPerf(FindGroup(aql.groups, "hmmer"), FindGroup(xen.groups, "hmmer"));
+  table.AddRow({"hmmer normalized perf under AQL (1.0 = Xen)",
+                TextTable::Num(degradation, 4)});
+  const double gobmk =
+      NormalizedPerf(FindGroup(aql.groups, "gobmk"), FindGroup(xen.groups, "gobmk"));
+  table.AddRow({"gobmk normalized perf under AQL (1.0 = Xen)", TextTable::Num(gobmk, 4)});
+  const double capacity = static_cast<double>(aql.measure_window) * 4;
+  table.AddRow({"controller bookkeeping / machine capacity (%)",
+                TextTable::Num(100.0 * static_cast<double>(aql.controller_overhead) /
+                                   capacity,
+                               5)});
+  std::printf("Section 4.3: AQL_Sched overhead (paper: < 1%% degradation)\n%s\n",
+              table.ToString().c_str());
+}
+
+void BM_ComputeCursors(benchmark::State& state) {
+  VtrsConfig config;
+  Levels levels{4.0, 12.0, 2.5, 22.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeCursors(levels, config));
+  }
+}
+BENCHMARK(BM_ComputeCursors);
+
+void BM_VtrsObserve(benchmark::State& state) {
+  Vtrs vtrs((VtrsConfig()));
+  Levels levels{4.0, 12.0, 2.5, 22.0};
+  int vcpu = 0;
+  for (auto _ : state) {
+    vtrs.Observe(vcpu, levels);
+    vcpu = (vcpu + 1) % 64;
+  }
+}
+BENCHMARK(BM_VtrsObserve);
+
+void BM_TwoLevelClustering(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<VcpuClass> classes;
+  for (int i = 0; i < n; ++i) {
+    VcpuClass c;
+    c.vcpu = i;
+    c.vm = i / 4;
+    c.type = static_cast<VcpuType>(i % kNumVcpuTypes);
+    c.avg.llco = (i % 5 == 4) ? 90.0 : 10.0;
+    c.avg.llcf = 100.0 - c.avg.llco;
+    classes.push_back(c);
+  }
+  Topology topo = MakeE54603Topology();
+  const CalibrationTable calib = PaperCalibration();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildTwoLevelPlan(classes, topo, calib));
+  }
+}
+BENCHMARK(BM_TwoLevelClustering)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace aql
+
+int main(int argc, char** argv) {
+  aql::InSimReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

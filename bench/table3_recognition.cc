@@ -1,0 +1,63 @@
+// Regenerates Table 3: application type as detected by the online vTRS.
+//
+// Every catalog application runs in the validation rig (4 vCPUs per pCPU,
+// §4.1) under AQL_Sched; the table prints the detected type next to the
+// expected one, plus the window-averaged cursors that drove the decision.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/core/cursors.h"
+#include "src/experiment/runner.h"
+#include "src/experiment/scenarios.h"
+#include "src/metrics/table.h"
+#include "src/workload/catalog.h"
+
+namespace aql {
+namespace {
+
+void Run() {
+  TextTable table({"application", "suite", "expected", "detected", "IO", "ConSpin", "LoLCF",
+                   "LLCF", "LLCO", "ok"});
+  int correct = 0;
+  int total = 0;
+
+  for (const AppProfile& app : Catalog()) {
+    ScenarioSpec spec = ValidationRig(app.name);
+    spec.warmup = Sec(1);
+    spec.measure = Sec(5);
+
+    // Capture the last cursor averages of the baseline vCPU (id 0..N of the
+    // first VM; for spin apps all baseline vCPUs behave alike, use vCPU 0).
+    CursorSet last_avg;
+    RunOptions options;
+    options.trace = [&last_avg](TimeNs, int vcpu, const CursorSet&, const CursorSet& avg) {
+      if (vcpu == 0) {
+        last_avg = avg;
+      }
+    };
+    ScenarioResult r = RunScenario(spec, PolicySpec::Aql(), options);
+
+    const VcpuType detected = r.detected_types.at(0);
+    const bool ok = detected == app.expected_type;
+    correct += ok ? 1 : 0;
+    ++total;
+    table.AddRow({app.name, app.suite, VcpuTypeName(app.expected_type),
+                  VcpuTypeName(detected), TextTable::Num(last_avg.io, 0),
+                  TextTable::Num(last_avg.conspin, 0), TextTable::Num(last_avg.lolcf, 0),
+                  TextTable::Num(last_avg.llcf, 0), TextTable::Num(last_avg.llco, 0),
+                  ok ? "yes" : "NO"});
+  }
+  std::printf("Table 3: application type recognition by the online vTRS\n%s\n",
+              table.ToString().c_str());
+  std::printf("recognition accuracy: %d/%d\n", correct, total);
+}
+
+}  // namespace
+}  // namespace aql
+
+int main() {
+  aql::Run();
+  return 0;
+}

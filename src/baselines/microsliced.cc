@@ -1,0 +1,20 @@
+#include "src/baselines/microsliced.h"
+
+namespace aql {
+
+void MicroslicedController::OnAttach(Machine& machine) {
+  PoolPlan plan;
+  PoolSpec all;
+  all.label = "microsliced";
+  all.quantum = quantum_;
+  for (int p = 0; p < machine.topology().TotalPcpus(); ++p) {
+    all.pcpus.push_back(p);
+  }
+  for (const Vcpu* v : machine.vcpus()) {
+    all.vcpus.push_back(v->id());
+  }
+  plan.pools.push_back(std::move(all));
+  machine.ApplyPoolPlan(plan);
+}
+
+}  // namespace aql

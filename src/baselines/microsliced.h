@@ -1,0 +1,29 @@
+// Microsliced baseline (Ahn et al., MICRO 2014): one short quantum for all
+// vCPUs. Good for I/O and spin-lock workloads, harmful for LLC-friendly
+// ones (the original mitigates that with new cache hardware, which we do not
+// model — see Table 6).
+
+#ifndef AQLSCHED_SRC_BASELINES_MICROSLICED_H_
+#define AQLSCHED_SRC_BASELINES_MICROSLICED_H_
+
+#include <string>
+
+#include "src/hv/machine.h"
+
+namespace aql {
+
+class MicroslicedController : public SchedController {
+ public:
+  explicit MicroslicedController(TimeNs quantum = Ms(1)) : quantum_(quantum) {}
+
+  std::string Name() const override { return "Microsliced"; }
+
+  void OnAttach(Machine& machine) override;
+
+ private:
+  TimeNs quantum_;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_BASELINES_MICROSLICED_H_

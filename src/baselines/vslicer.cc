@@ -1,0 +1,11 @@
+#include "src/baselines/vslicer.h"
+
+namespace aql {
+
+void VSlicerController::OnAttach(Machine& machine) {
+  for (int v : io_vcpus_) {
+    machine.SetVcpuQuantum(v, io_quantum_);
+  }
+}
+
+}  // namespace aql

@@ -1,0 +1,34 @@
+// vSlicer baseline (Xu et al., HPDC 2012): latency-sensitive vCPUs are
+// scheduled with a shorter quantum (differentiated-frequency CPU slicing)
+// while sharing the same pCPUs as everyone else. The original has no online
+// type recognition: the set of I/O vCPUs is configured manually, as in the
+// paper's comparison (§4.2).
+
+#ifndef AQLSCHED_SRC_BASELINES_VSLICER_H_
+#define AQLSCHED_SRC_BASELINES_VSLICER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hv/machine.h"
+
+namespace aql {
+
+class VSlicerController : public SchedController {
+ public:
+  // `io_vcpus`: manually designated latency-sensitive vCPU ids.
+  VSlicerController(std::vector<int> io_vcpus, TimeNs io_quantum = Ms(1))
+      : io_vcpus_(std::move(io_vcpus)), io_quantum_(io_quantum) {}
+
+  std::string Name() const override { return "vSlicer"; }
+
+  void OnAttach(Machine& machine) override;
+
+ private:
+  std::vector<int> io_vcpus_;
+  TimeNs io_quantum_;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_BASELINES_VSLICER_H_

@@ -1,0 +1,92 @@
+#include "src/core/aql_controller.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+AqlController::AqlController(const AqlConfig& config)
+    : config_(config), vtrs_(config.vtrs) {}
+
+void AqlController::OnAttach(Machine& machine) {
+  for (const Vcpu* v : machine.vcpus()) {
+    last_pmu_[v->id()] = v->pmu;
+    last_runtime_[v->id()] = v->total_runtime;
+  }
+}
+
+void AqlController::OnMonitorPeriod(Machine& machine, TimeNs now) {
+  // Monitoring pass: levels from PMU deltas into the vTRS window. Periods in
+  // which a vCPU never held a pCPU carry no information (hardware counters
+  // only advance while running — with a 30 ms quantum and 4 vCPUs per pCPU a
+  // vCPU is off-CPU for most monitoring periods), so they are skipped
+  // rather than diluting the sliding window.
+  for (const Vcpu* v : machine.vcpus()) {
+    const PmuCounters delta = v->pmu - last_pmu_[v->id()];
+    const TimeNs ran = v->total_runtime - last_runtime_[v->id()];
+    last_pmu_[v->id()] = v->pmu;
+    last_runtime_[v->id()] = v->total_runtime;
+    if (ran <= 0 && delta.io_events == 0 && delta.pause_exits == 0) {
+      continue;
+    }
+    const Levels levels = LevelsFromPmuDelta(delta);
+    vtrs_.Observe(v->id(), levels);
+    if (trace_hook_) {
+      trace_hook_(now, v->id(), vtrs_.Latest(v->id()), vtrs_.Average(v->id()));
+    }
+  }
+
+  ++periods_;
+  if (periods_ % config_.vtrs.window != 0) {
+    return;
+  }
+
+  // Decision pass: classify everything and recluster.
+  ++decisions_;
+  std::vector<VcpuClass> classes;
+  classes.reserve(machine.vcpus().size());
+  for (const Vcpu* v : machine.vcpus()) {
+    VcpuClass c;
+    c.vcpu = v->id();
+    c.vm = v->vm()->id();
+    c.type = vtrs_.TypeOf(v->id());
+    c.avg = vtrs_.Average(v->id());
+    classes.push_back(c);
+  }
+  PoolPlan plan = BuildTwoLevelPlan(classes, machine.topology(), config_.calibration);
+
+  const uint64_t elements = std::max<uint64_t>(machine.vcpus().size(),
+                                               static_cast<uint64_t>(machine.topology().TotalPcpus()));
+  machine.ChargeControllerOverhead(static_cast<TimeNs>(elements) *
+                                   config_.per_element_overhead);
+
+  if (config_.skip_unchanged_plans && has_plan_ && PlansEquivalent(plan, current_plan_)) {
+    return;
+  }
+  machine.ApplyPoolPlan(plan);
+  current_plan_ = std::move(plan);
+  has_plan_ = true;
+  ++plan_applications_;
+}
+
+bool AqlController::PlansEquivalent(const PoolPlan& a, const PoolPlan& b) {
+  if (a.pools.size() != b.pools.size()) {
+    return false;
+  }
+  auto normalize = [](const PoolPlan& p) {
+    std::vector<std::tuple<TimeNs, std::vector<int>, std::vector<int>>> out;
+    for (const PoolSpec& s : p.pools) {
+      std::vector<int> pc = s.pcpus;
+      std::vector<int> vc = s.vcpus;
+      std::sort(pc.begin(), pc.end());
+      std::sort(vc.begin(), vc.end());
+      out.emplace_back(s.quantum, std::move(pc), std::move(vc));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  return normalize(a) == normalize(b);
+}
+
+}  // namespace aql

@@ -1,0 +1,72 @@
+// AQL_Sched — the paper's Adaptable Quantum Length scheduler controller.
+//
+// Every monitoring period (30 ms) it reads each vCPU's PMU delta, feeds vTRS
+// and, every n periods (n = 4), classifies all vCPUs and rebuilds the CPU
+// pools with the two-level clustering; each pool gets the calibrated quantum
+// of its vCPU type. Reconfiguration is skipped when the plan is structurally
+// unchanged, and its simulated bookkeeping cost — O(max(#pCPUs, #vCPUs)),
+// cf. §4.3 — is charged as controller overhead.
+
+#ifndef AQLSCHED_SRC_CORE_AQL_CONTROLLER_H_
+#define AQLSCHED_SRC_CORE_AQL_CONTROLLER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/calibration.h"
+#include "src/core/clustering.h"
+#include "src/core/vtrs.h"
+#include "src/hv/machine.h"
+
+namespace aql {
+
+struct AqlConfig {
+  VtrsConfig vtrs;
+  CalibrationTable calibration = PaperCalibration();
+  // Simulated bookkeeping cost per element of the recognition + clustering
+  // pass (charged as max(#pCPUs, #vCPUs) * this).
+  TimeNs per_element_overhead = 50;
+  // If false, the plan is re-applied every decision even when unchanged.
+  bool skip_unchanged_plans = true;
+};
+
+class AqlController : public SchedController {
+ public:
+  explicit AqlController(const AqlConfig& config = {});
+
+  std::string Name() const override { return "AQL_Sched"; }
+  void OnAttach(Machine& machine) override;
+  void OnMonitorPeriod(Machine& machine, TimeNs now) override;
+
+  // --- observability (Fig. 4, Table 3/5) ---
+  const Vtrs& vtrs() const { return vtrs_; }
+  VcpuType TypeOf(int vcpu) const { return vtrs_.TypeOf(vcpu); }
+  const PoolPlan& current_plan() const { return current_plan_; }
+  uint64_t decisions() const { return decisions_; }
+  uint64_t plan_applications() const { return plan_applications_; }
+
+  // Optional per-period trace hook: (now, vcpu, single-period cursors,
+  // window average). Used to regenerate Fig. 4.
+  using TraceHook = std::function<void(TimeNs, int, const CursorSet&, const CursorSet&)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+ private:
+  static bool PlansEquivalent(const PoolPlan& a, const PoolPlan& b);
+
+  AqlConfig config_;
+  Vtrs vtrs_;
+  std::unordered_map<int, PmuCounters> last_pmu_;
+  std::unordered_map<int, TimeNs> last_runtime_;
+  int periods_ = 0;
+  PoolPlan current_plan_;
+  bool has_plan_ = false;
+  uint64_t decisions_ = 0;
+  uint64_t plan_applications_ = 0;
+  TraceHook trace_hook_;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_CORE_AQL_CONTROLLER_H_

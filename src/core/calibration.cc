@@ -1,0 +1,35 @@
+#include "src/core/calibration.h"
+
+#include <algorithm>
+
+namespace aql {
+
+std::vector<TimeNs> CalibrationTable::CalibratedQuanta() const {
+  std::vector<TimeNs> out;
+  for (VcpuType t : kAllVcpuTypes) {
+    if (IsAgnostic(t)) {
+      continue;
+    }
+    const TimeNs q = BestQuantum(t);
+    if (std::find(out.begin(), out.end(), q) == out.end()) {
+      out.push_back(q);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CalibrationTable PaperCalibration() {
+  CalibrationTable t;
+  t.best_quantum[static_cast<int>(VcpuType::kIoInt)] = Ms(1);
+  t.best_quantum[static_cast<int>(VcpuType::kConSpin)] = Ms(1);
+  t.best_quantum[static_cast<int>(VcpuType::kLlcf)] = Ms(90);
+  t.best_quantum[static_cast<int>(VcpuType::kLoLcf)] = Ms(30);
+  t.best_quantum[static_cast<int>(VcpuType::kLlco)] = Ms(30);
+  t.agnostic[static_cast<int>(VcpuType::kLoLcf)] = true;
+  t.agnostic[static_cast<int>(VcpuType::kLlco)] = true;
+  t.default_quantum = Ms(30);
+  return t;
+}
+
+}  // namespace aql

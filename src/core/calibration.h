@@ -1,0 +1,49 @@
+// Quantum-length calibration table (§3.4).
+//
+// The paper derives, through offline calibration, the best scheduler quantum
+// per application type: 1 ms for IOInt and ConSpin, 90 ms for LLCF; LoLCF
+// and LLCO are quantum-length agnostic (they serve as cluster ballast).
+// bench/fig2_calibration regenerates the underlying experiment; this header
+// carries its outcome into the scheduler.
+
+#ifndef AQLSCHED_SRC_CORE_CALIBRATION_H_
+#define AQLSCHED_SRC_CORE_CALIBRATION_H_
+
+#include <array>
+#include <vector>
+
+#include "src/core/vcpu_type.h"
+#include "src/sim/time.h"
+
+namespace aql {
+
+struct CalibrationTable {
+  // Best quantum per type; meaningful only where `agnostic` is false.
+  std::array<TimeNs, kNumVcpuTypes> best_quantum{};
+  // Quantum-length-agnostic types (used for balancing clusters).
+  std::array<bool, kNumVcpuTypes> agnostic{};
+  // Fallback quantum for mixed/default clusters (Xen default: 30 ms).
+  TimeNs default_quantum = Ms(30);
+
+  TimeNs BestQuantum(VcpuType t) const {
+    return best_quantum[static_cast<int>(t)];
+  }
+  bool IsAgnostic(VcpuType t) const { return agnostic[static_cast<int>(t)]; }
+
+  // Distinct quanta of non-agnostic types, in ascending order — these are
+  // the candidate clusters of Algorithm 2.
+  std::vector<TimeNs> CalibratedQuanta() const;
+};
+
+// The paper's calibration outcome (Fig. 2).
+CalibrationTable PaperCalibration();
+
+// The quantum grid used by the calibration experiments.
+inline const std::vector<TimeNs>& CalibrationQuantumGrid() {
+  static const std::vector<TimeNs> kGrid = {Ms(1), Ms(10), Ms(30), Ms(60), Ms(90)};
+  return kGrid;
+}
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_CORE_CALIBRATION_H_

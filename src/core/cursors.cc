@@ -1,0 +1,89 @@
+#include "src/core/cursors.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+double CursorSet::Of(VcpuType t) const {
+  switch (t) {
+    case VcpuType::kIoInt:
+      return io;
+    case VcpuType::kConSpin:
+      return conspin;
+    case VcpuType::kLoLcf:
+      return lolcf;
+    case VcpuType::kLlcf:
+      return llcf;
+    case VcpuType::kLlco:
+      return llco;
+  }
+  return 0;
+}
+
+Levels LevelsFromPmuDelta(const PmuCounters& delta) {
+  Levels l;
+  l.io_events = static_cast<double>(delta.io_events);
+  l.pause_exits = static_cast<double>(delta.pause_exits);
+  if (delta.instructions > 0) {
+    l.llc_rr = static_cast<double>(delta.llc_references) /
+               static_cast<double>(delta.instructions) * 1000.0;
+  }
+  if (delta.llc_references > 0) {
+    l.llc_mr_pct = static_cast<double>(delta.llc_misses) /
+                   static_cast<double>(delta.llc_references) * 100.0;
+  }
+  return l;
+}
+
+CursorSet ComputeCursors(const Levels& levels, const VtrsConfig& config) {
+  AQL_CHECK(config.io_limit > 0);
+  AQL_CHECK(config.conspin_limit > 0);
+  AQL_CHECK(config.llc_rr_limit > 0);
+  AQL_CHECK(config.llc_mr_limit > 0);
+  CursorSet c;
+
+  // Equation (1) for IOInt and ConSpin.
+  c.io = levels.io_events < config.io_limit
+             ? levels.io_events * 100.0 / config.io_limit
+             : 100.0;
+  c.conspin = levels.pause_exits < config.conspin_limit
+                  ? levels.pause_exits * 100.0 / config.conspin_limit
+                  : 100.0;
+
+  // Equation (3): LoLCF — few-to-no LLC references.
+  c.lolcf = levels.llc_rr < config.llc_rr_limit
+                ? (config.llc_rr_limit - levels.llc_rr) * 100.0 / config.llc_rr_limit
+                : 0.0;
+
+  // Equation (4): LLCF — references but few misses.
+  c.llcf = levels.llc_mr_pct < config.llc_mr_limit
+               ? std::min(100.0 - c.lolcf, (config.llc_mr_limit - levels.llc_mr_pct) *
+                                               100.0 / config.llc_mr_limit)
+               : 0.0;
+
+  // Equation (5): the CPU-burn cursors sum to 100 (equation 2).
+  c.llco = 100.0 - c.lolcf - c.llcf;
+
+  return c;
+}
+
+VcpuType Classify(const CursorSet& avg) {
+  VcpuType best = VcpuType::kIoInt;
+  double best_value = avg.Of(best);
+  for (VcpuType t : kAllVcpuTypes) {
+    const double v = avg.Of(t);
+    if (v > best_value) {
+      best = t;
+      best_value = v;
+    }
+  }
+  return best;
+}
+
+bool IsTrashing(const CursorSet& avg) {
+  return avg.llco >= avg.llcf && avg.llco >= avg.lolcf;
+}
+
+}  // namespace aql

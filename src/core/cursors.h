@@ -1,0 +1,76 @@
+// vTRS cursor algebra — the paper's equations (1)–(5).
+//
+// Each monitoring period produces a Levels sample (I/O events, PLE traps,
+// LLC reference ratio, LLC miss ratio) per vCPU; ComputeCursors turns it
+// into five [0,100] cursors whose CPU-burn components always sum to 100
+// (equation 2). Classification picks the type with the highest
+// window-averaged cursor.
+
+#ifndef AQLSCHED_SRC_CORE_CURSORS_H_
+#define AQLSCHED_SRC_CORE_CURSORS_H_
+
+#include <array>
+
+#include "src/core/vcpu_type.h"
+#include "src/hw/pmu.h"
+
+namespace aql {
+
+// Normalization thresholds (the *_LIMIT constants of §3.3.1). Values are
+// platform-dependent; defaults are calibrated for this simulator's hardware
+// model.
+struct VtrsConfig {
+  // I/O events per monitoring period above which a vCPU is 100% IOInt.
+  double io_limit = 2.0;
+  // PLE traps per monitoring period above which a vCPU is 100% ConSpin.
+  double conspin_limit = 5.0;
+  // LLC reference ratio limit, in references per kilo-instruction (RPKI):
+  // below it the vCPU leans LoLCF.
+  double llc_rr_limit = 1.0;
+  // LLC miss ratio limit in percent: above it the vCPU is trashing (LLCO).
+  // Calibrated so that a refill-bound miss ratio (an LLCF working set
+  // re-fetched after descheduling, ~30-40%) still reads LLCF while a
+  // capacity-bound one (WSS > LLC, ~70%+) reads LLCO.
+  double llc_mr_limit = 80.0;
+  // Sliding-window length n (monitoring periods) before deciding a type.
+  int window = 4;
+};
+
+// Raw per-period measurements derived from PMU deltas.
+struct Levels {
+  double io_events = 0;     // event-channel notifications this period
+  double pause_exits = 0;   // PLE traps this period
+  double llc_rr = 0;        // LLC references per kilo-instruction
+  double llc_mr_pct = 0;    // LLC miss ratio in percent
+};
+
+// The five cursors, each in [0, 100].
+struct CursorSet {
+  double io = 0;
+  double conspin = 0;
+  double lolcf = 0;
+  double llcf = 0;
+  double llco = 0;
+
+  double Of(VcpuType t) const;
+};
+
+// Derives Levels from a PMU delta over one monitoring period.
+Levels LevelsFromPmuDelta(const PmuCounters& delta);
+
+// Equations (1)–(5).
+CursorSet ComputeCursors(const Levels& levels, const VtrsConfig& config);
+
+// argmax over cursors, with ties resolved in declaration order
+// (IOInt > ConSpin > LoLCF > LLCF > LLCO) — the paper notes ties are rare.
+VcpuType Classify(const CursorSet& avg);
+
+// Whether the CPU-burn component of `avg` marks the vCPU as a trasher
+// (Algorithm 1's membership test for the "trashing" list; the paper's line 5
+// prints LLCF_cur_avg but the text requires the LLCO cursor — we implement
+// the corrected predicate, see DESIGN.md).
+bool IsTrashing(const CursorSet& avg);
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_CORE_CURSORS_H_

@@ -1,0 +1,43 @@
+// The five application/vCPU types identified by the paper (§3.2).
+
+#ifndef AQLSCHED_SRC_CORE_VCPU_TYPE_H_
+#define AQLSCHED_SRC_CORE_VCPU_TYPE_H_
+
+#include <array>
+#include <string>
+
+namespace aql {
+
+enum class VcpuType {
+  kIoInt = 0,    // I/O intensive, latency-critical
+  kConSpin = 1,  // concurrent threads synchronizing through spin-locks
+  kLoLcf = 2,    // working set fits low-level caches (L1/L2)
+  kLlcf = 3,     // working set fits the LLC (contention-sensitive)
+  kLlco = 4,     // working set overflows the LLC ("trashing")
+};
+
+inline constexpr int kNumVcpuTypes = 5;
+
+inline constexpr std::array<VcpuType, kNumVcpuTypes> kAllVcpuTypes = {
+    VcpuType::kIoInt, VcpuType::kConSpin, VcpuType::kLoLcf, VcpuType::kLlcf,
+    VcpuType::kLlco};
+
+inline const char* VcpuTypeName(VcpuType t) {
+  switch (t) {
+    case VcpuType::kIoInt:
+      return "IOInt";
+    case VcpuType::kConSpin:
+      return "ConSpin";
+    case VcpuType::kLoLcf:
+      return "LoLCF";
+    case VcpuType::kLlcf:
+      return "LLCF";
+    case VcpuType::kLlco:
+      return "LLCO";
+  }
+  return "?";
+}
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_CORE_VCPU_TYPE_H_

@@ -1,0 +1,68 @@
+#include "src/core/vtrs.h"
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+Vtrs::Vtrs(const VtrsConfig& config) : config_(config) {
+  AQL_CHECK(config_.window >= 1);
+}
+
+void Vtrs::Observe(int vcpu, const Levels& levels) {
+  WindowState& ws = state_[vcpu];
+  ws.latest = ComputeCursors(levels, config_);
+  ws.window.push_back(ws.latest);
+  while (static_cast<int>(ws.window.size()) > config_.window) {
+    ws.window.pop_front();
+  }
+}
+
+const Vtrs::WindowState* Vtrs::Find(int vcpu) const {
+  auto it = state_.find(vcpu);
+  return it == state_.end() ? nullptr : &it->second;
+}
+
+CursorSet Vtrs::Average(int vcpu) const {
+  const WindowState* ws = Find(vcpu);
+  CursorSet avg;
+  if (ws == nullptr || ws->window.empty()) {
+    return avg;
+  }
+  for (const CursorSet& c : ws->window) {
+    avg.io += c.io;
+    avg.conspin += c.conspin;
+    avg.lolcf += c.lolcf;
+    avg.llcf += c.llcf;
+    avg.llco += c.llco;
+  }
+  const double n = static_cast<double>(ws->window.size());
+  avg.io /= n;
+  avg.conspin /= n;
+  avg.lolcf /= n;
+  avg.llcf /= n;
+  avg.llco /= n;
+  return avg;
+}
+
+CursorSet Vtrs::Latest(int vcpu) const {
+  const WindowState* ws = Find(vcpu);
+  return ws == nullptr ? CursorSet{} : ws->latest;
+}
+
+VcpuType Vtrs::TypeOf(int vcpu) const { return Classify(Average(vcpu)); }
+
+bool Vtrs::WindowFull(int vcpu) const {
+  const WindowState* ws = Find(vcpu);
+  return ws != nullptr && static_cast<int>(ws->window.size()) >= config_.window;
+}
+
+bool Vtrs::IsTrashingVcpu(int vcpu) const { return IsTrashing(Average(vcpu)); }
+
+int Vtrs::SampleCount(int vcpu) const {
+  const WindowState* ws = Find(vcpu);
+  return ws == nullptr ? 0 : static_cast<int>(ws->window.size());
+}
+
+void Vtrs::Forget(int vcpu) { state_.erase(vcpu); }
+
+}  // namespace aql

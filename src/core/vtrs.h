@@ -1,0 +1,63 @@
+// vTRS — the online vCPU Type Recognition System (§3.3).
+//
+// One Levels sample per monitoring period is pushed per vCPU; cursors are
+// kept in a sliding window of n periods (paper: n = 4) and the vCPU's type
+// is the cursor with the highest window average. The class is independent of
+// the Machine so it can be unit-tested against synthetic counter streams;
+// AqlController feeds it PMU deltas.
+
+#ifndef AQLSCHED_SRC_CORE_VTRS_H_
+#define AQLSCHED_SRC_CORE_VTRS_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cursors.h"
+
+namespace aql {
+
+class Vtrs {
+ public:
+  explicit Vtrs(const VtrsConfig& config);
+
+  const VtrsConfig& config() const { return config_; }
+
+  // Records one monitoring-period sample for `vcpu`.
+  void Observe(int vcpu, const Levels& levels);
+
+  // Window-averaged cursors (zero if the vCPU was never observed).
+  CursorSet Average(int vcpu) const;
+
+  // Latest single-period cursors.
+  CursorSet Latest(int vcpu) const;
+
+  // Current classification from the window average.
+  VcpuType TypeOf(int vcpu) const;
+
+  // True once a full window of n samples has been observed.
+  bool WindowFull(int vcpu) const;
+
+  // Trashing test on the window average (Algorithm 1).
+  bool IsTrashingVcpu(int vcpu) const;
+
+  // Number of samples observed for `vcpu`.
+  int SampleCount(int vcpu) const;
+
+  void Forget(int vcpu);
+
+ private:
+  struct WindowState {
+    std::deque<CursorSet> window;
+    CursorSet latest;
+  };
+
+  const WindowState* Find(int vcpu) const;
+
+  VtrsConfig config_;
+  std::unordered_map<int, WindowState> state_;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_CORE_VTRS_H_

@@ -1,0 +1,118 @@
+#include "src/experiment/runner.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "src/baselines/microsliced.h"
+#include "src/baselines/vslicer.h"
+#include "src/baselines/vturbo.h"
+#include "src/sim/check.h"
+#include "src/workload/catalog.h"
+
+namespace aql {
+
+double ScenarioResult::GroupPrimary(const std::string& group) const {
+  return FindGroup(groups, group).primary;
+}
+
+ScenarioResult RunScenario(const ScenarioSpec& spec, const PolicySpec& policy,
+                           const RunOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  MachineConfig mc = spec.machine;
+  if (policy.kind == PolicySpec::Kind::kXen) {
+    mc.credit.default_quantum = policy.xen_quantum;
+  }
+
+  Simulation sim(mc.seed);
+  Machine machine(sim, mc);
+
+  // Build VMs and remember which vCPUs belong to I/O applications (the
+  // manual configuration vSlicer/vTurbo require).
+  std::vector<int> io_vcpus;
+  int vm_index = 0;
+  for (const VmSpec& vs : spec.vms) {
+    Vm* vm = machine.AddVm("vm" + std::to_string(vm_index++) + "_" + vs.app, vs.weight,
+                           vs.cap_percent);
+    auto models = MakeApp(vs.app, vs.vcpus);
+    const bool is_io = FindApp(vs.app).expected_type == VcpuType::kIoInt;
+    for (auto& model : models) {
+      Vcpu* v = machine.AddVcpu(vm, std::move(model));
+      if (is_io) {
+        io_vcpus.push_back(v->id());
+      }
+    }
+  }
+
+  AqlController* aql_controller = nullptr;
+  switch (policy.kind) {
+    case PolicySpec::Kind::kXen:
+      break;
+    case PolicySpec::Kind::kAql: {
+      auto ctl = std::make_unique<AqlController>(policy.aql);
+      if (options.trace) {
+        ctl->set_trace_hook(options.trace);
+      }
+      aql_controller = ctl.get();
+      machine.SetController(std::move(ctl));
+      break;
+    }
+    case PolicySpec::Kind::kMicrosliced:
+      machine.SetController(std::make_unique<MicroslicedController>(policy.small_quantum));
+      break;
+    case PolicySpec::Kind::kVSlicer:
+      machine.SetController(
+          std::make_unique<VSlicerController>(io_vcpus, policy.small_quantum));
+      break;
+    case PolicySpec::Kind::kVTurbo:
+      machine.SetController(std::make_unique<VTurboController>(io_vcpus, policy.turbo_pcpus,
+                                                               policy.small_quantum));
+      break;
+  }
+
+  machine.Start();
+
+  // Sentinel events align the clock exactly with the window boundaries.
+  const TimeNs t_warm = sim.Now() + spec.warmup;
+  const TimeNs t_end = t_warm + spec.measure;
+  sim.At(t_warm, [](TimeNs) {});
+  sim.At(t_end, [](TimeNs) {});
+
+  uint64_t events = sim.RunUntil(t_warm);
+  machine.ResetAllMetrics();
+  events += sim.RunUntil(t_end);
+
+  ScenarioResult result;
+  result.scenario = spec.name;
+  result.policy = policy.Label();
+  result.reports = machine.Reports();
+  result.groups = GroupReports(result.reports);
+  result.measure_window = t_end - machine.measure_start();
+  result.events_processed = events;
+  result.controller_overhead = machine.controller_overhead();
+
+  TimeNs busy = 0;
+  for (int p = 0; p < mc.topology.TotalPcpus(); ++p) {
+    busy += machine.BusyTime(p);
+  }
+  const double capacity = static_cast<double>(result.measure_window) *
+                          static_cast<double>(mc.topology.TotalPcpus());
+  result.cpu_utilization = capacity > 0 ? static_cast<double>(busy) / capacity : 0.0;
+
+  if (aql_controller != nullptr) {
+    for (const Vcpu* v : machine.vcpus()) {
+      result.detected_types[v->id()] = aql_controller->TypeOf(v->id());
+    }
+    for (const PoolSpec& p : aql_controller->current_plan().pools) {
+      result.pool_labels.push_back(p.label);
+    }
+    result.plan_applications = aql_controller->plan_applications();
+  }
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  return result;
+}
+
+}  // namespace aql

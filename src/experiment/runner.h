@@ -1,0 +1,47 @@
+// Experiment runner: builds a Machine from a ScenarioSpec + PolicySpec,
+// simulates warm-up and measurement windows, and collects grouped results.
+
+#ifndef AQLSCHED_SRC_EXPERIMENT_RUNNER_H_
+#define AQLSCHED_SRC_EXPERIMENT_RUNNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/aql_controller.h"
+#include "src/experiment/scenarios.h"
+#include "src/metrics/report.h"
+
+namespace aql {
+
+struct RunOptions {
+  // Observes per-period vTRS cursors (AQL policy only).
+  AqlController::TraceHook trace;
+};
+
+struct ScenarioResult {
+  std::string scenario;
+  std::string policy;
+  std::vector<PerfReport> reports;  // one per vCPU
+  std::vector<GroupPerf> groups;    // aggregated per application
+
+  TimeNs measure_window = 0;
+  double cpu_utilization = 0.0;       // busy time / capacity over the window
+  TimeNs controller_overhead = 0;     // simulated bookkeeping cost
+  uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
+
+  // AQL policy only: final detected type per vCPU and final pool labels.
+  std::map<int, VcpuType> detected_types;
+  std::vector<std::string> pool_labels;
+  uint64_t plan_applications = 0;
+
+  double GroupPrimary(const std::string& group) const;
+};
+
+ScenarioResult RunScenario(const ScenarioSpec& spec, const PolicySpec& policy,
+                           const RunOptions& options = {});
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_EXPERIMENT_RUNNER_H_

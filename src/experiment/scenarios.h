@@ -1,0 +1,82 @@
+// Experiment scenario descriptions and builders shared by benches, examples
+// and integration tests: the calibration rigs of §3.4, the colocation
+// scenarios S1–S5 of Table 4, and the 4-socket complex case of §3.5/Fig. 3.
+
+#ifndef AQLSCHED_SRC_EXPERIMENT_SCENARIOS_H_
+#define AQLSCHED_SRC_EXPERIMENT_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/aql_controller.h"
+#include "src/hv/machine.h"
+
+namespace aql {
+
+// One VM running `vcpus` instances of catalog application `app` (ConSpin
+// applications share the VM's spin lock).
+struct VmSpec {
+  std::string app;
+  int vcpus = 1;
+  int weight = 256;
+  int cap_percent = 0;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  MachineConfig machine;
+  std::vector<VmSpec> vms;
+  TimeNs warmup = Sec(2);
+  TimeNs measure = Sec(8);
+};
+
+// Scheduling policy under test.
+struct PolicySpec {
+  enum class Kind { kXen, kAql, kMicrosliced, kVSlicer, kVTurbo };
+
+  Kind kind = Kind::kXen;
+  // kXen: the fixed quantum (30 ms = native Xen; other values regenerate the
+  // calibration sweeps).
+  TimeNs xen_quantum = Ms(30);
+  // kMicrosliced / kVSlicer / kVTurbo: the short quantum.
+  TimeNs small_quantum = Ms(1);
+  // kVTurbo: number of dedicated turbo pCPUs.
+  int turbo_pcpus = 1;
+  // kAql configuration.
+  AqlConfig aql;
+
+  std::string Label() const;
+
+  static PolicySpec Xen(TimeNs quantum = Ms(30));
+  static PolicySpec Aql();
+  static PolicySpec Microsliced(TimeNs quantum = Ms(1));
+  static PolicySpec VSlicer(TimeNs quantum = Ms(1));
+  static PolicySpec VTurbo(int turbo_pcpus = 1, TimeNs quantum = Ms(1));
+};
+
+// Default single-socket experimental machine (Table 2, 4 of the i7-3770's
+// cores as in the paper's experiments).
+MachineConfig SingleSocketMachine(int pcpus = 4, uint64_t seed = 42);
+
+// Multi-socket machine of §3.5: E5-4603 with one socket reserved for dom0,
+// leaving 3 usable sockets x 4 pCPUs.
+MachineConfig MultiSocketMachine(uint64_t seed = 42);
+
+// §3.4.1 calibration rig: a baseline VM running `app` colocated with
+// disturber VMs so that every pCPU runs `vcpus_per_pcpu` vCPUs. ConSpin
+// applications get 4 baseline vCPUs (kernbench -j4), others one.
+ScenarioSpec CalibrationRig(const std::string& app, int vcpus_per_pcpu, uint64_t seed = 42);
+
+// Fig. 5 / Table 3 validation rig: `app` colocated at 4 vCPUs per pCPU.
+ScenarioSpec ValidationRig(const std::string& app, uint64_t seed = 42);
+
+// Table 4 colocation scenarios S1..S5 (index 1-based).
+ScenarioSpec ColocationScenario(int index, uint64_t seed = 42);
+
+// §3.5 complex case: 48 vCPUs (12 IOInt+, 7 ConSpin-, 17 LLCF, 12 LLCO)
+// on 3 usable sockets.
+ScenarioSpec FourSocketScenario(uint64_t seed = 42);
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_EXPERIMENT_SCENARIOS_H_

@@ -1,0 +1,47 @@
+#include "src/hv/cpu_pool.h"
+
+#include <algorithm>
+#include <set>
+
+namespace aql {
+
+std::string PoolPlan::Validate(int num_pcpus, const std::vector<int>& vcpu_ids) const {
+  std::set<int> seen_pcpus;
+  std::set<int> seen_vcpus;
+  for (const PoolSpec& p : pools) {
+    if (p.quantum <= 0) {
+      return "pool '" + p.label + "' has non-positive quantum";
+    }
+    if (p.pcpus.empty()) {
+      return "pool '" + p.label + "' has no pCPUs";
+    }
+    for (int pc : p.pcpus) {
+      if (pc < 0 || pc >= num_pcpus) {
+        return "pool '" + p.label + "' references invalid pCPU " + std::to_string(pc);
+      }
+      if (!seen_pcpus.insert(pc).second) {
+        return "pCPU " + std::to_string(pc) + " assigned to two pools";
+      }
+    }
+    for (int vc : p.vcpus) {
+      if (!seen_vcpus.insert(vc).second) {
+        return "vCPU " + std::to_string(vc) + " assigned to two pools";
+      }
+    }
+  }
+  if (static_cast<int>(seen_pcpus.size()) != num_pcpus) {
+    return "plan covers " + std::to_string(seen_pcpus.size()) + " of " +
+           std::to_string(num_pcpus) + " pCPUs";
+  }
+  for (int id : vcpu_ids) {
+    if (!seen_vcpus.contains(id)) {
+      return "vCPU " + std::to_string(id) + " not covered by plan";
+    }
+  }
+  if (seen_vcpus.size() != vcpu_ids.size()) {
+    return "plan references unknown vCPUs";
+  }
+  return "";
+}
+
+}  // namespace aql

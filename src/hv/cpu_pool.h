@@ -1,0 +1,42 @@
+// CPU pools: groups of pCPUs scheduled with a common quantum length.
+//
+// This is the substrate AQL_Sched reconfigures: the clustering step produces
+// a PoolPlan (pool -> {pCPUs, quantum, vCPUs}) that the Machine applies
+// atomically. Following the paper's implementation trick (§4.3), migrating a
+// vCPU between pools is cheap: all pools share the Credit scheduler's data
+// structures, only the quantum configuration differs per pool.
+
+#ifndef AQLSCHED_SRC_HV_CPU_POOL_H_
+#define AQLSCHED_SRC_HV_CPU_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace aql {
+
+struct PoolSpec {
+  // Identifier for reports (e.g. "C1^1ms" in the paper's notation).
+  std::string label;
+  // pCPU ids owned by this pool. Disjoint across a plan.
+  std::vector<int> pcpus;
+  // Quantum used by every pCPU of the pool.
+  TimeNs quantum = 0;
+  // vCPU ids scheduled exclusively inside this pool.
+  std::vector<int> vcpus;
+};
+
+struct PoolPlan {
+  std::vector<PoolSpec> pools;
+
+  // Validates structural invariants against a machine of `num_pcpus` pCPUs
+  // and the given vCPU ids: every pCPU appears exactly once, every vCPU
+  // appears exactly once, quanta are positive. Returns a diagnostic string
+  // which is empty when the plan is valid.
+  std::string Validate(int num_pcpus, const std::vector<int>& vcpu_ids) const;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_HV_CPU_POOL_H_

@@ -1,0 +1,15 @@
+#include "src/hv/event_channel.h"
+
+namespace aql {
+
+uint64_t EventChannel::Notify(int vcpu) {
+  ++total_;
+  return ++counts_[vcpu];
+}
+
+uint64_t EventChannel::Count(int vcpu) const {
+  auto it = counts_.find(vcpu);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace aql

@@ -1,0 +1,31 @@
+// Event channels: the split-driver I/O notification path.
+//
+// In Xen, I/O requests surface as event-channel notifications forwarded by
+// the hypervisor; the paper's IOInt monitoring counts these per vCPU. Here
+// the channel routes notifications to the Machine (wake + BOOST eligibility)
+// and maintains the per-vCPU counters vTRS reads.
+
+#ifndef AQLSCHED_SRC_HV_EVENT_CHANNEL_H_
+#define AQLSCHED_SRC_HV_EVENT_CHANNEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace aql {
+
+class EventChannel {
+ public:
+  // Records one notification towards `vcpu`; returns the new total.
+  uint64_t Notify(int vcpu);
+
+  uint64_t Count(int vcpu) const;
+  uint64_t TotalNotifications() const { return total_; }
+
+ private:
+  std::unordered_map<int, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_HV_EVENT_CHANNEL_H_

@@ -1,0 +1,195 @@
+// The virtualized machine: topology + LLC model + Credit scheduler + VMs,
+// driven by the discrete-event simulation.
+//
+// The Machine implements the dispatcher: it executes workload steps on
+// pCPUs, truncating them at quantum expiry, credit-accounting boundaries and
+// asynchronous kicks (I/O wake with BOOST, spin-lock handoff, pool
+// reconfiguration). It translates declarative memory behaviour of compute
+// steps through the LLC model into stall time and PMU counters.
+//
+// Scheduler policies (AQL_Sched and the baselines) attach as a
+// SchedController invoked every monitoring period; they observe PMU state
+// and reconfigure CPU pools through ApplyPoolPlan().
+
+#ifndef AQLSCHED_SRC_HV_MACHINE_H_
+#define AQLSCHED_SRC_HV_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hv/credit_scheduler.h"
+#include "src/hv/event_channel.h"
+#include "src/hv/vm.h"
+#include "src/hw/llc_model.h"
+#include "src/hw/topology.h"
+#include "src/sim/simulation.h"
+#include "src/workload/workload.h"
+
+namespace aql {
+
+class Machine;
+
+// Scheduling policy hook. Implementations: core::AqlController and the
+// baselines (vTurbo, vSlicer, Microsliced); the native Xen configuration is
+// simply "no controller".
+class SchedController {
+ public:
+  virtual ~SchedController() = default;
+  virtual std::string Name() const = 0;
+  // Called once after Machine::Start().
+  virtual void OnAttach(Machine& machine) { (void)machine; }
+  // Called every monitoring period (paper: 30 ms).
+  virtual void OnMonitorPeriod(Machine& machine, TimeNs now) {
+    (void)machine;
+    (void)now;
+  }
+};
+
+struct MachineConfig {
+  Topology topology;
+  HwParams hw;
+  CreditParams credit;
+  // vTRS monitoring period (paper: 30 ms).
+  TimeNs monitor_period = Ms(30);
+  uint64_t seed = 42;
+};
+
+class Machine : public WorkloadHost {
+ public:
+  Machine(Simulation& sim, const MachineConfig& config);
+  ~Machine() override;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- construction (before Start) ---
+  Vm* AddVm(const std::string& name, int weight = 256, int cap_percent = 0);
+  Vcpu* AddVcpu(Vm* vm, std::unique_ptr<WorkloadModel> workload);
+  void SetController(std::unique_ptr<SchedController> controller);
+
+  // Places vCPUs, arms accounting/monitoring, starts dispatching.
+  void Start();
+
+  // --- WorkloadHost ---
+  TimeNs Now() const override;
+  Rng& WorkloadRng() override;
+  void ScheduleTimer(TimeNs when, int vcpu, int tag) override;
+  void NotifyIoEvent(int vcpu) override;
+  void KickVcpu(int vcpu) override;
+  void WakeVcpu(int vcpu) override;
+  void CountPauseExits(int vcpu, uint64_t n) override;
+
+  // --- controller interface ---
+
+  // Atomically reconfigures pools and vCPU placement. The plan must
+  // partition pCPUs and cover every vCPU.
+  void ApplyPoolPlan(const PoolPlan& plan);
+
+  // Sets a per-vCPU quantum override (0 clears it). Used by vSlicer.
+  void SetVcpuQuantum(int vcpu, TimeNs quantum);
+
+  // Charges simulated controller bookkeeping cost (burns pCPU 0 time and is
+  // reported as overhead, cf. paper §4.3).
+  void ChargeControllerOverhead(TimeNs cost);
+
+  // --- observability ---
+  Simulation& sim() { return sim_; }
+  const Topology& topology() const { return config_.topology; }
+  const HwParams& hw_params() const { return config_.hw; }
+  CreditScheduler& scheduler() { return sched_; }
+  const CreditScheduler& scheduler() const { return sched_; }
+  LlcModel& llc() { return llc_; }
+  EventChannel& event_channel() { return channel_; }
+
+  const std::vector<Vcpu*>& vcpus() const { return vcpus_; }
+  Vcpu* vcpu(int id) const;
+  const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
+
+  // Zeroes workload metrics and machine counters; marks the start of the
+  // measurement window (call after warm-up).
+  void ResetAllMetrics();
+
+  std::vector<PerfReport> Reports() const;
+
+  TimeNs BusyTime(int pcpu) const;
+  TimeNs measure_start() const { return measure_start_; }
+  TimeNs controller_overhead() const { return controller_overhead_; }
+  uint64_t total_dispatches() const;
+  bool started() const { return started_; }
+
+  // Running vCPU on `pcpu`, nullptr if idle.
+  Vcpu* RunningOn(int pcpu) const;
+
+ private:
+  struct PcpuState {
+    Vcpu* current = nullptr;
+    TimeNs dispatch_start = 0;
+    TimeNs quantum_end = 0;
+    // In-flight step.
+    Step step;
+    TimeNs step_start = 0;
+    TimeNs step_planned = 0;  // wall duration incl. stalls and switch cost
+    TimeNs step_work = 0;     // pure-work portion of the plan
+    uint64_t step_refs = 0;
+    uint64_t step_misses = 0;
+    TimeNs pending_overhead = 0;  // context-switch cost charged to next step
+    EventId segment_event = kInvalidEventId;
+    // Accounting.
+    TimeNs busy = 0;
+    uint64_t dispatches = 0;
+  };
+
+  // Dispatch path.
+  void Resched(int pcpu);
+  void TryDispatch(int pcpu);
+  void Dispatch(int pcpu, Vcpu* v, bool switched);
+  void BeginStep(int pcpu);
+  void OnSegmentEnd(int pcpu);
+  void EndStep(int pcpu, bool completed);
+  void TruncateStep(int pcpu);
+  void DescheduleCurrent(int pcpu);
+  void PreemptCurrent(int pcpu, bool front);
+  void BlockCurrent(int pcpu, TimeNs wake_at);
+  void ChargeRuntime(int pcpu, Vcpu* v);
+
+  // Wake path.
+  void WakeImpl(Vcpu* v, bool io_event);
+  void KickImpl(Vcpu* v);
+  void MaybePreempt(int pcpu);
+  std::vector<bool> IdleFlags() const;
+
+  // Periodic events.
+  void OnAccounting(TimeNs now);
+  void OnMonitor(TimeNs now);
+
+  // Reentrancy guard: workload callbacks issued while the machine is
+  // mid-operation are deferred and drained at a consistent point.
+  bool ProcessingGuardHeld() const { return processing_; }
+  void Drain();
+  template <typename F>
+  void RunOrDefer(F&& f);
+
+  Simulation& sim_;
+  MachineConfig config_;
+  LlcModel llc_;
+  CreditScheduler sched_;
+  EventChannel channel_;
+  Rng workload_rng_;
+
+  std::vector<std::unique_ptr<Vm>> vms_;
+  std::vector<Vcpu*> vcpus_;  // by global id
+  std::vector<PcpuState> pcpus_;
+  std::unique_ptr<SchedController> controller_;
+
+  bool started_ = false;
+  bool processing_ = false;
+  std::vector<std::function<void()>> deferred_;
+
+  TimeNs measure_start_ = 0;
+  TimeNs controller_overhead_ = 0;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_HV_MACHINE_H_

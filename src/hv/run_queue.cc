@@ -1,0 +1,73 @@
+#include "src/hv/run_queue.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+void RunQueue::PushBack(Vcpu* v) {
+  AQL_CHECK(v != nullptr);
+  classes_[static_cast<int>(v->priority())].push_back(v);
+  ++size_;
+}
+
+void RunQueue::PushFront(Vcpu* v) {
+  AQL_CHECK(v != nullptr);
+  classes_[static_cast<int>(v->priority())].push_front(v);
+  ++size_;
+}
+
+Vcpu* RunQueue::PopBest() {
+  for (auto& q : classes_) {
+    if (!q.empty()) {
+      Vcpu* v = q.front();
+      q.pop_front();
+      --size_;
+      return v;
+    }
+  }
+  return nullptr;
+}
+
+Priority RunQueue::BestPriority() const {
+  for (int c = 0; c < kClasses; ++c) {
+    if (!classes_[c].empty()) {
+      return static_cast<Priority>(c);
+    }
+  }
+  AQL_CHECK_MSG(false, "BestPriority on empty queue");
+}
+
+bool RunQueue::Remove(const Vcpu* v) {
+  for (auto& q : classes_) {
+    auto it = std::find(q.begin(), q.end(), v);
+    if (it != q.end()) {
+      q.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RunQueue::Rebucket() {
+  std::array<std::deque<Vcpu*>, kClasses> fresh;
+  for (auto& q : classes_) {
+    for (Vcpu* v : q) {
+      fresh[static_cast<int>(v->priority())].push_back(v);
+    }
+  }
+  classes_ = std::move(fresh);
+}
+
+std::vector<Vcpu*> RunQueue::Snapshot() const {
+  std::vector<Vcpu*> out;
+  out.reserve(size_);
+  for (const auto& q : classes_) {
+    out.insert(out.end(), q.begin(), q.end());
+  }
+  return out;
+}
+
+}  // namespace aql

@@ -1,0 +1,99 @@
+// Virtual CPU: the schedulable entity of the hypervisor substrate.
+//
+// A vCPU carries its Credit-scheduler state (credits, BOOST flag, the
+// "consumed its whole previous quantum" bit that gates BOOST in the paper),
+// its placement (home pCPU, pool, LLC footprint socket) and its PMU counters.
+// The workload model attached to it is the guest program it executes.
+
+#ifndef AQLSCHED_SRC_HV_VCPU_H_
+#define AQLSCHED_SRC_HV_VCPU_H_
+
+#include <memory>
+#include <string>
+
+#include "src/hw/pmu.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+#include "src/workload/workload.h"
+
+namespace aql {
+
+class Vm;
+
+// Credit-scheduler priority classes, strongest first.
+enum class Priority {
+  kBoost = 0,
+  kUnder = 1,
+  kOver = 2,
+};
+
+enum class RunState {
+  kBlocked,   // waiting for an event; not on any run queue
+  kRunnable,  // on a run queue
+  kRunning,   // currently on a pCPU
+  kFinished,  // workload completed; permanently off-queue
+};
+
+class Vcpu {
+ public:
+  Vcpu(int id, Vm* vm, std::unique_ptr<WorkloadModel> workload);
+
+  Vcpu(const Vcpu&) = delete;
+  Vcpu& operator=(const Vcpu&) = delete;
+
+  int id() const { return id_; }
+  Vm* vm() const { return vm_; }
+  WorkloadModel* workload() const { return workload_.get(); }
+
+  // Effective priority: BOOST dominates; otherwise credit sign decides.
+  Priority priority() const {
+    if (boosted) {
+      return Priority::kBoost;
+    }
+    return credits >= 0 ? Priority::kUnder : Priority::kOver;
+  }
+
+  // --- scheduling state (owned by Machine/CreditScheduler) ---
+  RunState state = RunState::kBlocked;
+  bool boosted = false;
+  // True if the last descheduling happened because the quantum was fully
+  // consumed; per the paper, such vCPUs are not BOOST-eligible on wake.
+  bool consumed_full_quantum = false;
+  // Credit balance in nanoseconds of entitlement (>= 0 -> UNDER).
+  double credits = 0.0;
+  // Runtime within the current accounting period.
+  TimeNs period_runtime = 0;
+  // Timestamp from which runtime has not yet been charged.
+  TimeNs last_charge = 0;
+  // Lifetime runtime (for fairness checks and reports).
+  TimeNs total_runtime = 0;
+
+  // --- placement ---
+  int home_pcpu = -1;
+  int pool = 0;
+  // Socket where the LLC footprint currently lives (-1 = none yet).
+  int footprint_socket = -1;
+  // Per-vCPU quantum override (vSlicer-style); 0 = use pool quantum.
+  TimeNs quantum_override = 0;
+
+  // Pending self-wake timer event (kBlock with finite wake_at).
+  EventId wake_event = kInvalidEventId;
+
+  // --- observability ---
+  PmuCounters pmu;
+  uint64_t dispatches = 0;
+  uint64_t preemptions = 0;
+  uint64_t migrations = 0;
+
+ private:
+  int id_;
+  Vm* vm_;
+  std::unique_ptr<WorkloadModel> workload_;
+};
+
+// Short label such as "vm2.1" for diagnostics.
+std::string VcpuLabel(const Vcpu& v);
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_HV_VCPU_H_

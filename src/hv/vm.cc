@@ -1,0 +1,20 @@
+#include "src/hv/vm.h"
+
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+Vm::Vm(int id, std::string name, int weight, int cap_percent)
+    : id_(id), name_(std::move(name)), weight_(weight), cap_percent_(cap_percent) {
+  AQL_CHECK(weight_ > 0);
+  AQL_CHECK(cap_percent_ >= 0);
+}
+
+Vcpu* Vm::AddVcpu(int global_id, std::unique_ptr<WorkloadModel> workload) {
+  vcpus_.push_back(std::make_unique<Vcpu>(global_id, this, std::move(workload)));
+  return vcpus_.back().get();
+}
+
+}  // namespace aql

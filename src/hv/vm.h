@@ -1,0 +1,44 @@
+// Virtual machine: a weight/cap accounting domain grouping vCPUs.
+//
+// The Credit scheduler allocates CPU proportionally to VM weights; the cap
+// (percent of one pCPU, 0 = uncapped) bounds a VM's total consumption.
+
+#ifndef AQLSCHED_SRC_HV_VM_H_
+#define AQLSCHED_SRC_HV_VM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hv/vcpu.h"
+
+namespace aql {
+
+class Vm {
+ public:
+  Vm(int id, std::string name, int weight = 256, int cap_percent = 0);
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  int weight() const { return weight_; }
+  int cap_percent() const { return cap_percent_; }
+
+  const std::vector<std::unique_ptr<Vcpu>>& vcpus() const { return vcpus_; }
+
+  // Creates a vCPU with the given global id, owned by this VM.
+  Vcpu* AddVcpu(int global_id, std::unique_ptr<WorkloadModel> workload);
+
+ private:
+  int id_;
+  std::string name_;
+  int weight_;
+  int cap_percent_;
+  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_HV_VM_H_

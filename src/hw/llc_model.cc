@@ -1,0 +1,154 @@
+#include "src/hw/llc_model.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+LlcModel::LlcModel(int sockets, uint64_t capacity_bytes, const HwParams& params)
+    : capacity_(capacity_bytes), params_(params), sockets_(static_cast<size_t>(sockets)) {
+  AQL_CHECK(sockets >= 1);
+  AQL_CHECK(capacity_bytes > 0);
+}
+
+double LlcModel::MissRatio(int socket, int vcpu, uint64_t wss_bytes) const {
+  AQL_CHECK(socket >= 0 && socket < static_cast<int>(sockets_.size()));
+  if (wss_bytes == 0) {
+    return params_.min_miss_ratio;
+  }
+  const SocketState& s = sockets_[static_cast<size_t>(socket)];
+  uint64_t occ = 0;
+  if (auto it = s.occupancy.find(vcpu); it != s.occupancy.end()) {
+    occ = it->second;
+  }
+  // References are spread uniformly over the working set; the resident part
+  // hits. Residency can never exceed the WSS, so the ratio is within [0, 1].
+  const double hit = static_cast<double>(std::min(occ, wss_bytes)) /
+                     static_cast<double>(wss_bytes);
+  return std::max(params_.min_miss_ratio, 1.0 - hit);
+}
+
+void LlcModel::CommitAccesses(int socket, int vcpu, uint64_t wss_bytes, uint64_t misses) {
+  AQL_CHECK(socket >= 0 && socket < static_cast<int>(sockets_.size()));
+  if (misses == 0 || wss_bytes == 0) {
+    return;
+  }
+  SocketState& s = sockets_[static_cast<size_t>(socket)];
+  uint64_t& occ = s.occupancy[vcpu];
+  s.wss[vcpu] = wss_bytes;
+
+  const uint64_t limit = std::min(wss_bytes, capacity_);
+  uint64_t fetched = misses * params_.cache_line_bytes;
+  if (wss_bytes > capacity_) {
+    // Streaming fetches carry no reuse; adaptive insertion (DIP/RRIP) admits
+    // only a fraction of them at eviction-relevant priority.
+    fetched = static_cast<uint64_t>(static_cast<double>(fetched) *
+                                    params_.stream_insertion_fraction);
+  }
+  const uint64_t grow = std::min(fetched, limit > occ ? limit - occ : 0);
+  occ += grow;
+  s.total += grow;
+
+  if (s.total <= capacity_) {
+    return;
+  }
+  // Socket overflow: evict from co-resident vCPUs proportionally to a
+  // recency-weighted occupancy. The fetching vCPU keeps what it just brought
+  // in; vCPUs currently on-CPU keep most of their footprint (LRU keeps hot
+  // lines resident), descheduled footprints decay at full weight.
+  uint64_t overflow = s.total - capacity_;
+  auto weight_of = [&](int id, uint64_t bytes) {
+    const auto it = s.running.find(id);
+    const bool running = it != s.running.end() && it->second;
+    // Recency protection only applies to cache-friendly working sets: a
+    // streaming workload (WSS > capacity) touches each line once, so LRU
+    // offers its lines no protection even while it runs.
+    const auto wit = s.wss.find(id);
+    const bool friendly = wit != s.wss.end() && wit->second <= capacity_;
+    const bool protected_set = running && friendly;
+    return static_cast<double>(bytes) *
+           (protected_set ? params_.running_eviction_weight : 1.0);
+  };
+  double weight_total = 0;
+  for (const auto& [id, bytes] : s.occupancy) {
+    if (id != vcpu && bytes > 0) {
+      weight_total += weight_of(id, bytes);
+    }
+  }
+  uint64_t evicted_sum = 0;
+  if (weight_total > 0) {
+    for (auto& [id, bytes] : s.occupancy) {
+      if (id == vcpu || bytes == 0) {
+        continue;
+      }
+      uint64_t share = static_cast<uint64_t>(
+          static_cast<double>(overflow) * weight_of(id, bytes) / weight_total);
+      share = std::min(share, bytes);
+      bytes -= share;
+      evicted_sum += share;
+    }
+  }
+  // Weight caps or rounding may leave a residue; drain remaining victims in
+  // arbitrary (hash) order.
+  uint64_t residue = overflow > evicted_sum ? overflow - evicted_sum : 0;
+  if (residue > 0) {
+    for (auto& [id, bytes] : s.occupancy) {
+      if (id == vcpu || bytes == 0) {
+        continue;
+      }
+      const uint64_t take = std::min(residue, bytes);
+      bytes -= take;
+      evicted_sum += take;
+      residue -= take;
+      if (residue == 0) {
+        break;
+      }
+    }
+  }
+  s.total -= evicted_sum;
+  if (s.total > capacity_) {
+    // All co-residents were drained; trim the fetcher itself.
+    const uint64_t trim = s.total - capacity_;
+    AQL_CHECK(occ >= trim);
+    occ -= trim;
+    s.total -= trim;
+  }
+}
+
+void LlcModel::SetRunning(int socket, int vcpu, bool running) {
+  AQL_CHECK(socket >= 0 && socket < static_cast<int>(sockets_.size()));
+  SocketState& s = sockets_[static_cast<size_t>(socket)];
+  if (running) {
+    s.running[vcpu] = true;
+  } else {
+    s.running.erase(vcpu);
+  }
+}
+
+void LlcModel::Remove(int socket, int vcpu) {
+  AQL_CHECK(socket >= 0 && socket < static_cast<int>(sockets_.size()));
+  SocketState& s = sockets_[static_cast<size_t>(socket)];
+  s.running.erase(vcpu);
+  auto it = s.occupancy.find(vcpu);
+  if (it == s.occupancy.end()) {
+    return;
+  }
+  AQL_CHECK(s.total >= it->second);
+  s.total -= it->second;
+  s.occupancy.erase(it);
+}
+
+uint64_t LlcModel::Occupancy(int socket, int vcpu) const {
+  AQL_CHECK(socket >= 0 && socket < static_cast<int>(sockets_.size()));
+  const SocketState& s = sockets_[static_cast<size_t>(socket)];
+  auto it = s.occupancy.find(vcpu);
+  return it == s.occupancy.end() ? 0 : it->second;
+}
+
+uint64_t LlcModel::TotalOccupancy(int socket) const {
+  AQL_CHECK(socket >= 0 && socket < static_cast<int>(sockets_.size()));
+  return sockets_[static_cast<size_t>(socket)].total;
+}
+
+}  // namespace aql

@@ -1,0 +1,70 @@
+// Last-level-cache occupancy and contention model.
+//
+// The model is the mechanism behind every cache effect in the paper:
+//  * A vCPU's working set warms into the LLC by demand-fetching missed lines.
+//  * Co-running vCPUs on the same socket evict each other proportionally to
+//    their resident occupancy when the cache is full.
+//  * The probability that a reference hits is occupancy / WSS, so
+//      - LLCF  (WSS <= LLC): warm -> ~0 misses, but every eviction must be
+//        re-fetched, which is what punishes small scheduling quanta;
+//      - LLCO  (WSS >  LLC): hit ratio is capacity-bound regardless of
+//        scheduling, i.e. quantum-agnostic but a strong disturber;
+//      - LoLCF (WSS <= L2): makes almost no LLC references at all.
+//
+// Occupancy is tracked per (socket, vcpu) in bytes; the per-socket total
+// never exceeds the LLC capacity.
+
+#ifndef AQLSCHED_SRC_HW_LLC_MODEL_H_
+#define AQLSCHED_SRC_HW_LLC_MODEL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hw/topology.h"
+
+namespace aql {
+
+class LlcModel {
+ public:
+  LlcModel(int sockets, uint64_t capacity_bytes, const HwParams& params);
+
+  // Expected miss ratio if `vcpu` issues LLC references over a working set of
+  // `wss_bytes` on `socket`, given its current resident occupancy.
+  double MissRatio(int socket, int vcpu, uint64_t wss_bytes) const;
+
+  // Commits the outcome of a compute step: `misses` lines were fetched by
+  // `vcpu` on `socket`; grows its occupancy (bounded by min(wss, capacity))
+  // and evicts co-resident vCPUs proportionally if the socket overflows.
+  void CommitAccesses(int socket, int vcpu, uint64_t wss_bytes, uint64_t misses);
+
+  // Drops all of `vcpu`'s occupancy on `socket` (cross-socket migration or
+  // teardown).
+  void Remove(int socket, int vcpu);
+
+  // Marks `vcpu` as currently running on `socket`. Running vCPUs' occupancy
+  // is recency-protected: it is evicted with a reduced weight
+  // (HwParams::running_eviction_weight), modelling LRU keeping the active
+  // working set hot while descheduled footprints decay.
+  void SetRunning(int socket, int vcpu, bool running);
+
+  uint64_t Occupancy(int socket, int vcpu) const;
+  uint64_t TotalOccupancy(int socket) const;
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  struct SocketState {
+    std::unordered_map<int, uint64_t> occupancy;  // vcpu -> resident bytes
+    std::unordered_map<int, bool> running;        // vcpu -> on-CPU now
+    std::unordered_map<int, uint64_t> wss;        // vcpu -> last seen WSS
+    uint64_t total = 0;
+  };
+
+  uint64_t capacity_;
+  HwParams params_;
+  std::vector<SocketState> sockets_;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_HW_LLC_MODEL_H_

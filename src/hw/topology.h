@@ -1,0 +1,63 @@
+// Hardware platform description: sockets, cores, cache sizes, and timing
+// parameters used by the cache/contention model.
+//
+// Presets mirror the paper's two experimental machines (Table 2 i7-3770 and
+// the 4-socket Xeon E5-4603 used for the multi-socket evaluation).
+
+#ifndef AQLSCHED_SRC_HW_TOPOLOGY_H_
+#define AQLSCHED_SRC_HW_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace aql {
+
+// Timing/behaviour knobs of the simulated hardware.
+struct HwParams {
+  // Extra stall charged per LLC miss (DRAM access), on top of nominal work.
+  TimeNs llc_miss_penalty = 80;
+  // Direct cost of a context switch (register state, L1/TLB disturbance).
+  TimeNs context_switch_cost = 3 * kNsPerUs;
+  // One Pause-Loop-Exiting trap is recorded per this much busy-spin time.
+  TimeNs pause_exit_interval = 10 * kNsPerUs;
+  // Residual miss ratio even with a fully warm cache (TLB, cold lines).
+  double min_miss_ratio = 0.005;
+  // Cache line size in bytes.
+  uint64_t cache_line_bytes = 64;
+  // Recency protection: eviction weight applied to the occupancy of vCPUs
+  // currently running on the socket (their lines are hot under LRU, so
+  // trashers evict them far more slowly than descheduled footprints).
+  double running_eviction_weight = 0.15;
+  // Thrash-resistant insertion (DIP/RRIP-style): the fraction of a
+  // streaming workload's fetched lines (WSS > LLC) that are actually
+  // inserted with enough priority to evict re-used working sets.
+  double stream_insertion_fraction = 0.3;
+};
+
+// Physical machine layout. pCPUs are numbered globally, socket-major:
+// pCPU p lives on socket p / cores_per_socket.
+struct Topology {
+  int sockets = 1;
+  int cores_per_socket = 4;
+  uint64_t l1_bytes = 32 * 1024;
+  uint64_t l2_bytes = 256 * 1024;
+  uint64_t llc_bytes = 8ull * 1024 * 1024;
+
+  int TotalPcpus() const { return sockets * cores_per_socket; }
+  int SocketOf(int pcpu) const;
+  // pCPU ids belonging to `socket`.
+  std::vector<int> PcpusOfSocket(int socket) const;
+};
+
+// Table 2 machine: Intel i7-3770, one socket, 8 MB LLC. The paper's
+// single-socket experiments use 4 of its cores; pass `cores` accordingly.
+Topology MakeI73770Topology(int cores = 4);
+
+// Multi-socket evaluation machine: Xeon E5-4603, 4 sockets x 4 cores.
+Topology MakeE54603Topology();
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_HW_TOPOLOGY_H_

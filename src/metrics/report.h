@@ -1,0 +1,39 @@
+// Aggregation of per-vCPU PerfReports into per-application groups, plus the
+// normalization helper used throughout the paper's figures ("normalized
+// performance": measured cost / baseline cost, smaller is better, 1.0 means
+// parity with the baseline scheduler).
+
+#ifndef AQLSCHED_SRC_METRICS_REPORT_H_
+#define AQLSCHED_SRC_METRICS_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace aql {
+
+struct GroupPerf {
+  std::string name;
+  int vcpus = 0;
+  // Mean of the primary (smaller-is-better) metric across the group's vCPUs.
+  double primary = 0.0;
+  // Mean of every named metric across the group's vCPUs.
+  std::map<std::string, double> metrics;
+};
+
+// Groups reports by workload name and averages metrics.
+std::vector<GroupPerf> GroupReports(const std::vector<PerfReport>& reports);
+
+// Finds a group by name; aborts if absent.
+const GroupPerf& FindGroup(const std::vector<GroupPerf>& groups, const std::string& name);
+bool HasGroup(const std::vector<GroupPerf>& groups, const std::string& name);
+
+// measured/baseline of the primary cost metric. Values < 1 mean the measured
+// configuration performs better (as in the paper's figures).
+double NormalizedPerf(const GroupPerf& measured, const GroupPerf& baseline);
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_METRICS_REPORT_H_

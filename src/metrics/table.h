@@ -1,0 +1,31 @@
+// Plain-text table rendering for bench/example output.
+
+#ifndef AQLSCHED_SRC_METRICS_TABLE_H_
+#define AQLSCHED_SRC_METRICS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace aql {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  std::string ToString() const;
+
+  size_t rows() const { return rows_.size(); }
+
+  // Numeric formatting helpers.
+  static std::string Num(double v, int precision = 2);
+  static std::string Ms(double ns, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_METRICS_TABLE_H_

@@ -1,0 +1,44 @@
+// Lightweight assertion macros for the aqlsched library.
+//
+// The library is exception-free, in the spirit of systems code: invariant
+// violations are programming errors and abort the process with a message.
+// CHECK is always on; DCHECK compiles away in NDEBUG builds.
+
+#ifndef AQLSCHED_SRC_SIM_CHECK_H_
+#define AQLSCHED_SRC_SIM_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aql {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace aql
+
+#define AQL_CHECK(expr)                              \
+  do {                                               \
+    if (!(expr)) {                                   \
+      ::aql::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                \
+  } while (0)
+
+#define AQL_CHECK_MSG(expr, msg)                    \
+  do {                                              \
+    if (!(expr)) {                                  \
+      ::aql::CheckFailed(__FILE__, __LINE__, msg);  \
+    }                                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define AQL_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define AQL_DCHECK(expr) AQL_CHECK(expr)
+#endif
+
+#endif  // AQLSCHED_SRC_SIM_CHECK_H_

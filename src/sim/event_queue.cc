@@ -1,0 +1,85 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+EventId EventQueue::ScheduleAt(TimeNs when, Callback cb) {
+  AQL_CHECK_MSG(when >= now_, "event scheduled in the past");
+  AQL_CHECK(cb != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId) {
+    return false;
+  }
+  // We cannot know cheaply whether `id` is still in the heap; track it in the
+  // tombstone set and reconcile at pop time. Guard against double-cancel by
+  // checking the set first.
+  if (cancelled_.contains(id)) {
+    return false;
+  }
+  if (id >= next_id_) {
+    return false;
+  }
+  cancelled_.insert(id);
+  AQL_CHECK(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    auto it = cancelled_.find(top.id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() const {
+  return live_count_ == 0;
+}
+
+TimeNs EventQueue::NextTime() const {
+  // const_cast-free variant: we cannot skim from a const method, so scan via
+  // a copy of the top until a live entry is found. The heap top is live in
+  // the common case; worst case we pay for tombstones exactly once when a
+  // non-const method next runs.
+  if (live_count_ == 0) {
+    return kTimeInfinite;
+  }
+  // Safe: SkimCancelled only removes dead entries, observable state for live
+  // events is unchanged.
+  auto* self = const_cast<EventQueue*>(this);
+  self->SkimCancelled();
+  AQL_CHECK(!heap_.empty());
+  return heap_.top().when;
+}
+
+bool EventQueue::RunNext() {
+  SkimCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  // Move the callback out before popping; Entry is stored by value.
+  Entry top = heap_.top();
+  heap_.pop();
+  AQL_CHECK(live_count_ > 0);
+  --live_count_;
+  AQL_CHECK(top.when >= now_);
+  now_ = top.when;
+  top.cb(now_);
+  return true;
+}
+
+}  // namespace aql

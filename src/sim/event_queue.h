@@ -1,0 +1,85 @@
+// Discrete-event queue.
+//
+// The queue orders callbacks by (time, sequence number) so that events
+// scheduled earlier at the same timestamp run first — this makes simulations
+// fully deterministic. Events can be cancelled through the EventId returned
+// at scheduling time; cancellation is O(1) (lazy: the entry is marked dead
+// and skipped when popped).
+
+#ifndef AQLSCHED_SRC_SIM_EVENT_QUEUE_H_
+#define AQLSCHED_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace aql {
+
+// Opaque handle identifying a scheduled event. Id 0 is "invalid/none".
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(TimeNs now)>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `cb` to run at absolute time `when`. `when` must not be in the
+  // past relative to the last popped event.
+  EventId ScheduleAt(TimeNs when, Callback cb);
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  bool Cancel(EventId id);
+
+  // True if no live events remain.
+  bool Empty() const;
+
+  // Number of live (non-cancelled) pending events.
+  size_t LiveCount() const { return live_count_; }
+
+  // Time of the earliest live event; kTimeInfinite if empty.
+  TimeNs NextTime() const;
+
+  // Pops and runs the earliest live event. Returns false if queue was empty.
+  bool RunNext();
+
+  // Current simulated time (time of the last event run).
+  TimeNs Now() const { return now_; }
+
+ private:
+  struct Entry {
+    TimeNs when;
+    uint64_t seq;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled entries from the front of the heap.
+  void SkimCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,84 @@
+#include "src/sim/rng.h"
+
+#include <cmath>
+
+#include "src/sim/check.h"
+
+namespace aql {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits scaled into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  AQL_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(NextU64());
+  }
+  return lo + static_cast<int64_t>(NextU64() % span);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  AQL_CHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Exponential(double mean) {
+  AQL_CHECK(mean > 0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+TimeNs Rng::ExponentialNs(TimeNs mean) {
+  const double d = Exponential(static_cast<double>(mean));
+  TimeNs out = static_cast<TimeNs>(d);
+  return out < 1 ? 1 : out;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork(uint64_t tag) {
+  const uint64_t a = NextU64();
+  return Rng(a ^ (tag * 0x9e3779b97f4a7c15ULL) ^ 0xa02bdbf7bb3c0a7ULL);
+}
+
+}  // namespace aql

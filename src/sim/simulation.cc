@@ -1,0 +1,34 @@
+#include "src/sim/simulation.h"
+
+#include <utility>
+
+namespace aql {
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::After(TimeNs delay, EventQueue::Callback cb) {
+  return queue_.ScheduleAt(queue_.Now() + delay, std::move(cb));
+}
+
+EventId Simulation::At(TimeNs when, EventQueue::Callback cb) {
+  return queue_.ScheduleAt(when, std::move(cb));
+}
+
+uint64_t Simulation::RunUntilIdle() {
+  uint64_t n = 0;
+  while (queue_.RunNext()) {
+    ++n;
+  }
+  return n;
+}
+
+uint64_t Simulation::RunUntil(TimeNs deadline) {
+  uint64_t n = 0;
+  while (!queue_.Empty() && queue_.NextTime() <= deadline) {
+    queue_.RunNext();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace aql

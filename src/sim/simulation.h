@@ -1,0 +1,51 @@
+// Simulation driver: owns the clock/event queue and the root RNG.
+//
+// All simulator components hold a Simulation& and schedule work through it.
+// The driver supports running until the queue drains or until a deadline,
+// which is how experiments bound their simulated duration.
+
+#ifndef AQLSCHED_SRC_SIM_SIMULATION_H_
+#define AQLSCHED_SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace aql {
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  TimeNs Now() const { return queue_.Now(); }
+  EventQueue& queue() { return queue_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `cb` to run `delay` ns from now.
+  EventId After(TimeNs delay, EventQueue::Callback cb);
+
+  // Schedules `cb` at an absolute timestamp.
+  EventId At(TimeNs when, EventQueue::Callback cb);
+
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs events until the queue is empty. Returns number of events run.
+  uint64_t RunUntilIdle();
+
+  // Runs events with timestamp <= deadline. The clock is left at
+  // min(deadline, time of last event). Returns number of events run.
+  uint64_t RunUntil(TimeNs deadline);
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_SIM_SIMULATION_H_

@@ -1,0 +1,35 @@
+// Simulated-time primitives.
+//
+// All simulation time is kept in integer nanoseconds (TimeNs). Helper
+// constants and conversion functions keep call sites readable; scheduler
+// quanta in the paper are expressed in milliseconds (1/10/30/60/90 ms).
+
+#ifndef AQLSCHED_SRC_SIM_TIME_H_
+#define AQLSCHED_SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace aql {
+
+// Absolute simulated time or a duration, in nanoseconds.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1000;
+inline constexpr TimeNs kNsPerMs = 1000 * 1000;
+inline constexpr TimeNs kNsPerSec = 1000 * 1000 * 1000;
+
+// Sentinel for "never": safely addable to real timestamps without overflow.
+inline constexpr TimeNs kTimeInfinite = std::numeric_limits<TimeNs>::max() / 4;
+
+constexpr TimeNs Us(int64_t us) { return us * kNsPerUs; }
+constexpr TimeNs Ms(int64_t ms) { return ms * kNsPerMs; }
+constexpr TimeNs Sec(int64_t s) { return s * kNsPerSec; }
+
+constexpr double ToMs(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+constexpr double ToUs(TimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+constexpr double ToSec(TimeNs t) { return static_cast<double>(t) / kNsPerSec; }
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_SIM_TIME_H_

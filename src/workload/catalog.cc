@@ -1,0 +1,261 @@
+#include "src/workload/catalog.h"
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "src/sim/check.h"
+#include "src/workload/cpu_burn.h"
+#include "src/workload/io_server.h"
+#include "src/workload/spin_sync.h"
+
+namespace aql {
+namespace {
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * 1024;
+
+MemProfile Mem(uint64_t wss, double refs_per_ns, double ipc = 2.0) {
+  MemProfile m;
+  m.wss_bytes = wss;
+  m.llc_refs_per_ns = refs_per_ns;
+  m.instructions_per_ns = ipc;
+  return m;
+}
+
+CpuBurnConfig Burn(const std::string& name, uint64_t wss, double refs_per_ns) {
+  CpuBurnConfig c;
+  c.name = name;
+  c.mem = Mem(wss, refs_per_ns);
+  return c;
+}
+
+IoServerConfig Io(const std::string& name, double rate_hz, TimeNs service, TimeNs cgi,
+                  const MemProfile& mem, bool background_burn) {
+  IoServerConfig c;
+  c.name = name;
+  c.arrival_rate_hz = rate_hz;
+  c.service_work = service;
+  c.cgi_work = cgi;
+  c.mem = mem;
+  c.background_burn = background_burn;
+  return c;
+}
+
+SpinSyncConfig Spin(const std::string& name, TimeNs compute, TimeNs critical, uint64_t wss,
+                    double refs_per_ns, int barrier_every = 150) {
+  SpinSyncConfig c;
+  c.name = name;
+  c.compute = compute;
+  c.critical = critical;
+  c.mem = Mem(wss, refs_per_ns);
+  c.cs_mem = Mem(64 * kKiB, 0.0002);
+  c.barrier_every = barrier_every;
+  return c;
+}
+
+struct Entry {
+  AppProfile profile;
+  std::function<std::vector<std::unique_ptr<WorkloadModel>>(int count)> make;
+};
+
+std::function<std::vector<std::unique_ptr<WorkloadModel>>(int)> MakeBurnFactory(
+    CpuBurnConfig cfg) {
+  return [cfg](int count) {
+    std::vector<std::unique_ptr<WorkloadModel>> out;
+    for (int i = 0; i < count; ++i) {
+      out.push_back(std::make_unique<CpuBurnModel>(cfg));
+    }
+    return out;
+  };
+}
+
+std::function<std::vector<std::unique_ptr<WorkloadModel>>(int)> MakeIoFactory(
+    IoServerConfig cfg) {
+  return [cfg](int count) {
+    std::vector<std::unique_ptr<WorkloadModel>> out;
+    for (int i = 0; i < count; ++i) {
+      out.push_back(std::make_unique<IoServerModel>(cfg));
+    }
+    return out;
+  };
+}
+
+std::function<std::vector<std::unique_ptr<WorkloadModel>>(int)> MakeSpinFactory(
+    SpinSyncConfig cfg) {
+  return [cfg](int count) {
+    auto lock = std::make_shared<SpinLock>();
+    std::shared_ptr<SpinBarrier> barrier;
+    if (cfg.barrier_every > 0) {
+      barrier = std::make_shared<SpinBarrier>(count);
+    }
+    std::vector<std::unique_ptr<WorkloadModel>> out;
+    for (int i = 0; i < count; ++i) {
+      out.push_back(std::make_unique<SpinSyncModel>(cfg, lock, barrier));
+    }
+    return out;
+  };
+}
+
+const std::vector<Entry>& Entries() {
+  static const std::vector<Entry>* entries = [] {
+    auto* e = new std::vector<Entry>;
+    auto add = [e](const std::string& name, VcpuType t, const std::string& suite,
+                   std::function<std::vector<std::unique_ptr<WorkloadModel>>(int)> make) {
+      e->push_back(Entry{AppProfile{name, t, suite}, std::move(make)});
+    };
+
+    // --- I/O intensive (reference suites + Table 1 micro-benchmarks) ---
+    // Heterogeneous web serving: CGI computation defeats Xen's BOOST.
+    add("SPECweb2009", VcpuType::kIoInt, "SPECweb2009",
+        MakeIoFactory(
+            Io("SPECweb2009", 300.0, Us(100), Us(600), Mem(512 * kKiB, 0.001), true)));
+    add("SPECmail2009", VcpuType::kIoInt, "SPECmail2009",
+        MakeIoFactory(
+            Io("SPECmail2009", 400.0, Us(50), Us(350), Mem(256 * kKiB, 0.0008), true)));
+    add("wordpress", VcpuType::kIoInt, "micro",
+        MakeIoFactory(Io("wordpress", 300.0, Us(100), Us(600), Mem(512 * kKiB, 0.001), true)));
+    // Exclusive network workload: blocks between requests, BOOST applies.
+    add("pure_io", VcpuType::kIoInt, "micro",
+        MakeIoFactory(Io("pure_io", 500.0, Us(150), 0, Mem(64 * kKiB, 0.00005), false)));
+    // IOInt+ of the 4-socket scenario (§3.5): I/O intensive *and* trashing
+    // the LLC with its per-request computation.
+    add("specweb_trasher", VcpuType::kIoInt, "micro",
+        MakeIoFactory(
+            Io("specweb_trasher", 180.0, Us(100), Us(600), Mem(12 * kMiB, 0.006), true)));
+
+    // --- ConSpin (kernbench + PARSEC) ---
+    // Lock duty cycles are kept around 1% (realistic fine-grained kernel /
+    // pthread locks); the dominant quantum sensitivity comes from barrier
+    // phases stalled by descheduled stragglers.
+    add("kernbench", VcpuType::kConSpin, "micro",
+        MakeSpinFactory(Spin("kernbench", Us(1000), Us(10), kMiB, 0.001, 80)));
+    struct ParsecSpec {
+      const char* name;
+      TimeNs compute;
+      TimeNs critical;
+      uint64_t wss;
+      double refs;
+      int barrier_every;
+    };
+    const ParsecSpec parsec[] = {
+        {"bodytrack", Us(900), Us(10), kMiB, 0.0010, 100},
+        {"blackscholes", Us(1400), Us(6), 512 * kKiB, 0.0006, 200},
+        {"canneal", Us(1000), Us(14), 3 * kMiB, 0.0014, 110},
+        {"dedup", Us(800), Us(12), 2 * kMiB, 0.0012, 90},
+        {"facesim", Us(1100), Us(12), 2 * kMiB, 0.0011, 100},
+        {"ferret", Us(950), Us(9), kMiB, 0.0009, 130},
+        {"fluidanimate", Us(850), Us(14), kMiB, 0.0012, 80},
+        {"freqmine", Us(1250), Us(8), 2 * kMiB, 0.0008, 170},
+        {"raytrace", Us(1050), Us(9), kMiB, 0.0007, 150},
+        {"streamcluster", Us(900), Us(12), 2 * kMiB, 0.0013, 90},
+        {"vips", Us(1080), Us(9), kMiB, 0.0009, 140},
+        {"x264", Us(1000), Us(10), kMiB, 0.0011, 120},
+    };
+    for (const ParsecSpec& p : parsec) {
+      add(p.name, VcpuType::kConSpin, "PARSEC",
+          MakeSpinFactory(Spin(p.name, p.compute, p.critical, p.wss, p.refs,
+                               p.barrier_every)));
+    }
+
+    // --- LLCF: working set fits the 8 MB LLC ---
+    add("astar", VcpuType::kLlcf, "SPEC CPU2006",
+        MakeBurnFactory(Burn("astar", 3 * kMiB, 0.0050)));
+    add("xalancbmk", VcpuType::kLlcf, "SPEC CPU2006",
+        MakeBurnFactory(Burn("xalancbmk", 5 * kMiB / 2, 0.0060)));
+    add("bzip2", VcpuType::kLlcf, "SPEC CPU2006",
+        MakeBurnFactory(Burn("bzip2", 7 * kMiB / 2, 0.0055)));
+    add("gcc", VcpuType::kLlcf, "SPEC CPU2006",
+        MakeBurnFactory(Burn("gcc", 4 * kMiB, 0.0045)));
+    add("omnetpp", VcpuType::kLlcf, "SPEC CPU2006",
+        MakeBurnFactory(Burn("omnetpp", 5 * kMiB, 0.0060)));
+    // Table 1 linked-list micro-benchmark, configured at half the LLC.
+    add("llcf_list", VcpuType::kLlcf, "micro",
+        MakeBurnFactory(Burn("llcf_list", 4 * kMiB, 0.0080)));
+    // Smaller LLC-friendly disturber used in the calibration rigs (reused
+    // working sets create legitimate capacity contention).
+    add("llcf_list2", VcpuType::kLlcf, "micro",
+        MakeBurnFactory(Burn("llcf_list2", 3 * kMiB, 0.0060)));
+
+    // --- LoLCF: working set fits L1/L2 ---
+    add("hmmer", VcpuType::kLoLcf, "SPEC CPU2006",
+        MakeBurnFactory(Burn("hmmer", 180 * kKiB, 0.00003)));
+    add("gobmk", VcpuType::kLoLcf, "SPEC CPU2006",
+        MakeBurnFactory(Burn("gobmk", 200 * kKiB, 0.00005)));
+    add("perlbench", VcpuType::kLoLcf, "SPEC CPU2006",
+        MakeBurnFactory(Burn("perlbench", 150 * kKiB, 0.00004)));
+    add("sjeng", VcpuType::kLoLcf, "SPEC CPU2006",
+        MakeBurnFactory(Burn("sjeng", 120 * kKiB, 0.00002)));
+    add("h264ref", VcpuType::kLoLcf, "SPEC CPU2006",
+        MakeBurnFactory(Burn("h264ref", 220 * kKiB, 0.00006)));
+    // Table 1 micro-benchmark at 90% of L2.
+    add("lolcf_list", VcpuType::kLoLcf, "micro",
+        MakeBurnFactory(Burn("lolcf_list", 230 * kKiB, 0.00004)));
+
+    // --- LLCO: working set overflows the LLC ---
+    add("mcf", VcpuType::kLlco, "SPEC CPU2006",
+        MakeBurnFactory(Burn("mcf", 14 * kMiB, 0.0070)));
+    add("libquantum", VcpuType::kLlco, "SPEC CPU2006",
+        MakeBurnFactory(Burn("libquantum", 24 * kMiB, 0.0090)));
+    add("llco_list", VcpuType::kLlco, "micro",
+        MakeBurnFactory(Burn("llco_list", 16 * kMiB, 0.0120)));
+
+    return e;
+  }();
+  return *entries;
+}
+
+const Entry& FindEntry(const std::string& name) {
+  for (const Entry& e : Entries()) {
+    if (e.profile.name == name) {
+      return e;
+    }
+  }
+  AQL_CHECK_MSG(false, ("unknown application: " + name).c_str());
+}
+
+}  // namespace
+
+const std::vector<AppProfile>& Catalog() {
+  static const std::vector<AppProfile>* profiles = [] {
+    auto* p = new std::vector<AppProfile>;
+    for (const Entry& e : Entries()) {
+      p->push_back(e.profile);
+    }
+    return p;
+  }();
+  return *profiles;
+}
+
+const AppProfile& FindApp(const std::string& name) { return FindEntry(name).profile; }
+
+bool HasApp(const std::string& name) {
+  for (const Entry& e : Entries()) {
+    if (e.profile.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::unique_ptr<WorkloadModel>> MakeApp(const std::string& name, int count) {
+  AQL_CHECK(count >= 1);
+  return FindEntry(name).make(count);
+}
+
+std::unique_ptr<WorkloadModel> MakeSingleApp(const std::string& name) {
+  auto v = MakeApp(name, 1);
+  return std::move(v.front());
+}
+
+std::vector<std::string> AppsOfType(VcpuType type) {
+  std::vector<std::string> out;
+  for (const AppProfile& p : Catalog()) {
+    if (p.expected_type == type) {
+      out.push_back(p.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace aql

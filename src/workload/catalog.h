@@ -1,0 +1,50 @@
+// Application catalog: named workload models mirroring the paper's
+// benchmarks (Table 1 micro-benchmarks, Table 3 reference applications).
+//
+// Each entry maps a benchmark name to a parameterized workload model whose
+// (working set, LLC reference rate, I/O rate, spin behaviour) reproduces the
+// type the paper's vTRS detected for it. ConSpin applications are
+// multi-threaded: MakeApp returns one model per vCPU sharing a VM-level
+// spin lock.
+
+#ifndef AQLSCHED_SRC_WORKLOAD_CATALOG_H_
+#define AQLSCHED_SRC_WORKLOAD_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/vcpu_type.h"
+#include "src/workload/workload.h"
+
+namespace aql {
+
+struct AppProfile {
+  std::string name;
+  VcpuType expected_type;
+  // Benchmark suite the application belongs to ("SPEC CPU2006", "PARSEC",
+  // "SPECweb2009", "micro", ...).
+  std::string suite;
+};
+
+// All known applications.
+const std::vector<AppProfile>& Catalog();
+
+// Profile lookup; aborts on unknown names.
+const AppProfile& FindApp(const std::string& name);
+bool HasApp(const std::string& name);
+
+// Instantiates `count` vCPU workload models for `name`. For ConSpin
+// applications the models share one spin lock (threads of one VM); for all
+// other types the models are independent replicas.
+std::vector<std::unique_ptr<WorkloadModel>> MakeApp(const std::string& name, int count = 1);
+
+// Convenience: single-vCPU instantiation.
+std::unique_ptr<WorkloadModel> MakeSingleApp(const std::string& name);
+
+// Names of all applications of a given expected type.
+std::vector<std::string> AppsOfType(VcpuType type);
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_WORKLOAD_CATALOG_H_

@@ -1,0 +1,61 @@
+#include "src/workload/cpu_burn.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+CpuBurnModel::CpuBurnModel(const CpuBurnConfig& config) : config_(config) {
+  AQL_CHECK(config_.phase > 0);
+}
+
+Step CpuBurnModel::NextStep(TimeNs now) {
+  (void)now;
+  if (finished_) {
+    return Step::Finished();
+  }
+  TimeNs work = config_.phase;
+  if (config_.total_work > 0) {
+    const TimeNs remaining = config_.total_work - done_total_;
+    if (remaining <= 0) {
+      return Step::Finished();
+    }
+    work = std::min(work, remaining);
+  }
+  return Step::Compute(work, config_.mem);
+}
+
+void CpuBurnModel::OnStepEnd(TimeNs now, const Step& step, TimeNs work_done, bool completed) {
+  (void)step;
+  (void)completed;
+  done_total_ += work_done;
+  done_window_ += work_done;
+  if (config_.total_work > 0 && done_total_ >= config_.total_work && !finished_) {
+    finished_ = true;
+    finish_time_ = now;
+  }
+}
+
+PerfReport CpuBurnModel::Report(TimeNs now) const {
+  PerfReport r;
+  r.workload_name = config_.name;
+  const TimeNs elapsed = (finished_ ? finish_time_ : now) - window_start_;
+  const double work = static_cast<double>(done_window_);
+  // Slowdown: wall time needed per unit of pure work (>= 1 / cpu share).
+  const double slowdown = work > 0 ? static_cast<double>(elapsed) / work : 0.0;
+  r.metrics[PerfReport::kPrimaryMetric] = slowdown;
+  r.metrics["slowdown"] = slowdown;
+  r.metrics["work_done_s"] = ToSec(done_window_);
+  if (finished_) {
+    r.metrics["completion_time_s"] = ToSec(finish_time_ - window_start_);
+  }
+  return r;
+}
+
+void CpuBurnModel::ResetMetrics(TimeNs now) {
+  done_window_ = 0;
+  window_start_ = now;
+}
+
+}  // namespace aql

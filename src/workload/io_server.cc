@@ -1,0 +1,96 @@
+#include "src/workload/io_server.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+namespace {
+constexpr int kArrivalTimer = 1;
+}  // namespace
+
+IoServerModel::IoServerModel(const IoServerConfig& config) : config_(config) {
+  AQL_CHECK(config_.arrival_rate_hz > 0);
+  AQL_CHECK(config_.service_work > 0);
+  AQL_CHECK(config_.phase > 0);
+}
+
+void IoServerModel::OnAttach(WorkloadHost* host, int vcpu) {
+  WorkloadModel::OnAttach(host, vcpu);
+  ScheduleNextArrival(host->Now());
+}
+
+void IoServerModel::ScheduleNextArrival(TimeNs now) {
+  const TimeNs mean = static_cast<TimeNs>(1e9 / config_.arrival_rate_hz);
+  const TimeNs gap = host_->WorkloadRng().ExponentialNs(mean);
+  host_->ScheduleTimer(now + gap, vcpu_, kArrivalTimer);
+}
+
+void IoServerModel::OnTimer(TimeNs now, int tag) {
+  AQL_CHECK(tag == kArrivalTimer);
+  if (queue_.size() >= config_.max_queue) {
+    ++dropped_;
+  } else {
+    queue_.push_back(now);
+    // Interrupt towards the guest; wakes (and possibly BOOSTs) the vCPU.
+    host_->NotifyIoEvent(vcpu_);
+  }
+  ScheduleNextArrival(now);
+}
+
+Step IoServerModel::NextStep(TimeNs now) {
+  (void)now;
+  if (queue_.empty()) {
+    in_request_ = false;
+    if (config_.background_burn) {
+      return Step::Compute(config_.phase, config_.mem);
+    }
+    return Step::Block();
+  }
+  in_request_ = true;
+  if (current_remaining_ <= 0) {
+    current_remaining_ = config_.service_work + config_.cgi_work;
+  }
+  const TimeNs chunk = std::min(current_remaining_, config_.phase);
+  return Step::Compute(chunk, config_.mem);
+}
+
+void IoServerModel::OnStepEnd(TimeNs now, const Step& step, TimeNs work_done, bool completed) {
+  (void)step;
+  (void)completed;
+  if (!in_request_) {
+    return;  // background computation; requests are untouched
+  }
+  current_remaining_ -= work_done;
+  if (current_remaining_ <= 0 && !queue_.empty()) {
+    const TimeNs arrival = queue_.front();
+    queue_.pop_front();
+    ++completed_;
+    latency_us_.Add(ToUs(now - arrival));
+    current_remaining_ = 0;
+  }
+}
+
+PerfReport IoServerModel::Report(TimeNs now) const {
+  PerfReport r;
+  r.workload_name = config_.name;
+  const double mean_lat = latency_us_.mean();
+  r.metrics[PerfReport::kPrimaryMetric] = mean_lat;
+  r.metrics["latency_mean_us"] = mean_lat;
+  r.metrics["latency_p95_us"] = latency_us_.Percentile(95);
+  r.metrics["latency_p99_us"] = latency_us_.Percentile(99);
+  const double window_s = ToSec(now - window_start_);
+  r.metrics["throughput_per_s"] =
+      window_s > 0 ? static_cast<double>(completed_) / window_s : 0.0;
+  r.metrics["dropped"] = static_cast<double>(dropped_);
+  return r;
+}
+
+void IoServerModel::ResetMetrics(TimeNs now) {
+  latency_us_.Reset();
+  completed_ = 0;
+  dropped_ = 0;
+  window_start_ = now;
+}
+
+}  // namespace aql

@@ -1,0 +1,76 @@
+// I/O server workload: network/disk request service inside a vCPU.
+//
+// Requests arrive as an open-loop Poisson process (modelling external
+// clients). Each arrival raises an event-channel notification towards the
+// vCPU — if the vCPU is blocked this is the BOOST wake-up path. Serving a
+// request costs `service_work` of CPU plus optionally `cgi_work`
+// (the paper's "heterogeneous" web workload whose CGI scripts consume enough
+// CPU that the vCPU exhausts its quantum and loses BOOST eligibility).
+//
+// Performance metric: mean request latency (arrival -> completion), the
+// paper's SPECweb/SPECmail measure. Smaller is better.
+
+#ifndef AQLSCHED_SRC_WORKLOAD_IO_SERVER_H_
+#define AQLSCHED_SRC_WORKLOAD_IO_SERVER_H_
+
+#include <deque>
+#include <string>
+
+#include "src/metrics/stats.h"
+#include "src/workload/workload.h"
+
+namespace aql {
+
+struct IoServerConfig {
+  std::string name = "io_server";
+  // Mean request arrival rate (Poisson), per second.
+  double arrival_rate_hz = 500.0;
+  // Pure-CPU cost of handling the I/O part of one request.
+  TimeNs service_work = Us(150);
+  // Additional per-request computation (0 = pure I/O workload).
+  TimeNs cgi_work = 0;
+  // Heterogeneous mode: when no request is pending, the vCPU runs background
+  // computation (in-guest batch scripts) instead of blocking. This is what
+  // makes the workload consume whole quanta and lose BOOST eligibility —
+  // the paper's "heterogeneous workload" pathology (§3.4.2, Fig. 2b).
+  bool background_burn = false;
+  // Memory behaviour while serving (applies to service + CGI work).
+  MemProfile mem;
+  // Step granularity for request processing.
+  TimeNs phase = Us(100);
+  // Arrivals beyond this backlog are dropped (overload guard).
+  size_t max_queue = 4096;
+};
+
+class IoServerModel : public WorkloadModel {
+ public:
+  explicit IoServerModel(const IoServerConfig& config);
+
+  void OnAttach(WorkloadHost* host, int vcpu) override;
+  Step NextStep(TimeNs now) override;
+  void OnStepEnd(TimeNs now, const Step& step, TimeNs work_done, bool completed) override;
+  void OnTimer(TimeNs now, int tag) override;
+  std::string Name() const override { return config_.name; }
+  PerfReport Report(TimeNs now) const override;
+  void ResetMetrics(TimeNs now) override;
+
+  uint64_t completed_requests() const { return completed_; }
+  uint64_t dropped_requests() const { return dropped_; }
+  const SampleStats& latency_us() const { return latency_us_; }
+
+ private:
+  void ScheduleNextArrival(TimeNs now);
+
+  IoServerConfig config_;
+  std::deque<TimeNs> queue_;  // arrival timestamps, FIFO
+  TimeNs current_remaining_ = 0;
+  bool in_request_ = false;
+  uint64_t completed_ = 0;
+  uint64_t dropped_ = 0;
+  SampleStats latency_us_;
+  TimeNs window_start_ = 0;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_WORKLOAD_IO_SERVER_H_

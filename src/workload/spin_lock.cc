@@ -1,0 +1,107 @@
+#include "src/workload/spin_lock.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+SpinBarrier::SpinBarrier(int parties) : parties_(parties) {
+  AQL_CHECK(parties_ >= 1);
+}
+
+uint64_t SpinBarrier::Arrive(int vcpu, WorkloadHost* host) {
+  const uint64_t gen = generation_;
+  ++arrived_;
+  if (arrived_ < parties_) {
+    waiting_.push_back(vcpu);
+    return gen;
+  }
+  // Last party: trip the barrier and wake everyone who spins on it.
+  arrived_ = 0;
+  ++generation_;
+  ++trips_;
+  std::vector<int> to_kick;
+  to_kick.swap(waiting_);
+  if (host != nullptr) {
+    for (int w : to_kick) {
+      host->KickVcpu(w);
+    }
+  }
+  return gen;
+}
+
+void SpinLock::Acquired(int vcpu, TimeNs now) {
+  owner_ = vcpu;
+  acquired_at_ = now;
+  ++acquisitions_;
+  if (auto it = wait_since_.find(vcpu); it != wait_since_.end()) {
+    wait_us_.Add(ToUs(now - it->second));
+    wait_since_.erase(it);
+  }
+}
+
+bool SpinLock::TryAcquire(int vcpu, TimeNs now) {
+  if (owner_ == vcpu) {
+    // Ownership was handed to this vCPU at a previous release (FIFO mode).
+    return true;
+  }
+  const bool queued = std::find(waiters_.begin(), waiters_.end(), vcpu) != waiters_.end();
+  if (owner_ == -1) {
+    if (fifo_ && !waiters_.empty() && waiters_.front() != vcpu) {
+      // FIFO: only the queue head may take a free lock.
+    } else {
+      if (queued) {
+        waiters_.erase(std::find(waiters_.begin(), waiters_.end(), vcpu));
+      }
+      Acquired(vcpu, now);
+      return true;
+    }
+  }
+  if (!queued) {
+    waiters_.push_back(vcpu);
+    ++contended_;
+    wait_since_.emplace(vcpu, now);
+  }
+  return false;
+}
+
+void SpinLock::Release(int vcpu, TimeNs now, WorkloadHost* host) {
+  AQL_CHECK(owner_ == vcpu);
+  hold_us_.Add(ToUs(now - acquired_at_));
+  owner_ = -1;
+  if (waiters_.empty()) {
+    return;
+  }
+  if (fifo_) {
+    // Ticket handoff: the head becomes the owner right away. Its hold
+    // duration starts now — including any time it spends descheduled before
+    // noticing (lock-waiter preemption).
+    const int next = waiters_.front();
+    waiters_.pop_front();
+    Acquired(next, now);
+    if (host != nullptr) {
+      host->KickVcpu(next);
+    }
+    return;
+  }
+  // Unfair lock: kick every spinning waiter; whoever runs first wins.
+  if (host != nullptr) {
+    for (int w : waiters_) {
+      host->KickVcpu(w);
+    }
+  }
+}
+
+bool SpinLock::ContendedBy(int vcpu) const {
+  return std::find(waiters_.begin(), waiters_.end(), vcpu) != waiters_.end();
+}
+
+void SpinLock::ResetMetrics() {
+  hold_us_.Reset();
+  wait_us_.Reset();
+  acquisitions_ = 0;
+  contended_ = 0;
+}
+
+}  // namespace aql

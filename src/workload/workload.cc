@@ -1,0 +1,6 @@
+#include "src/workload/workload.h"
+
+// The workload interface is header-only today; this translation unit anchors
+// the vtables of the abstract bases so dependents link cleanly.
+
+namespace aql {}  // namespace aql

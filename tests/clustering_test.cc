@@ -1,0 +1,260 @@
+// Tests for the two-level clustering (Algorithms 1 & 2), including the
+// paper's Fig. 3 worked example and parameterized fairness properties.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/clustering.h"
+#include "src/sim/rng.h"
+
+namespace aql {
+namespace {
+
+VcpuClass Make(int vcpu, int vm, VcpuType type) {
+  VcpuClass c;
+  c.vcpu = vcpu;
+  c.vm = vm;
+  c.type = type;
+  switch (type) {
+    case VcpuType::kLlco:
+      c.avg.llco = 90;
+      c.avg.llcf = 5;
+      c.avg.lolcf = 5;
+      break;
+    case VcpuType::kLlcf:
+      c.avg.llcf = 80;
+      c.avg.lolcf = 10;
+      c.avg.llco = 10;
+      break;
+    case VcpuType::kLoLcf:
+      c.avg.lolcf = 90;
+      c.avg.llcf = 5;
+      c.avg.llco = 5;
+      break;
+    case VcpuType::kIoInt:
+      c.avg.io = 100;
+      c.avg.lolcf = 60;
+      c.avg.llco = 25;
+      c.avg.llcf = 15;
+      break;
+    case VcpuType::kConSpin:
+      c.avg.conspin = 100;
+      c.avg.lolcf = 60;
+      c.avg.llco = 25;
+      c.avg.llcf = 15;
+      break;
+  }
+  return c;
+}
+
+// Marks the CPU-burn side of an IOInt/ConSpin vCPU as trashing ("IOInt+").
+VcpuClass MakeTrashing(int vcpu, int vm, VcpuType type) {
+  VcpuClass c = Make(vcpu, vm, type);
+  c.avg.llco = 70;
+  c.avg.lolcf = 20;
+  c.avg.llcf = 10;
+  return c;
+}
+
+TEST(FirstLevelTest, SeparatesTrashersFromSensitive) {
+  std::vector<VcpuClass> vcpus;
+  for (int i = 0; i < 4; ++i) {
+    vcpus.push_back(Make(i, i, VcpuType::kLlco));
+  }
+  for (int i = 4; i < 8; ++i) {
+    vcpus.push_back(Make(i, i, VcpuType::kLlcf));
+  }
+  const SocketAssignment a = FirstLevelClustering(vcpus, 2);
+  ASSERT_EQ(a.per_socket.size(), 2u);
+  EXPECT_EQ(a.per_socket[0], (std::vector<int>{0, 1, 2, 3}));  // all trashers
+  EXPECT_EQ(a.per_socket[1], (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(FirstLevelTest, FairSocketSizes) {
+  std::vector<VcpuClass> vcpus;
+  for (int i = 0; i < 10; ++i) {
+    vcpus.push_back(Make(i, i / 2, i % 2 == 0 ? VcpuType::kLlco : VcpuType::kLlcf));
+  }
+  const SocketAssignment a = FirstLevelClustering(vcpus, 3);
+  // 10 over 3 sockets: 4+3+3.
+  EXPECT_EQ(a.per_socket[0].size(), 4u);
+  EXPECT_EQ(a.per_socket[1].size(), 3u);
+  EXPECT_EQ(a.per_socket[2].size(), 3u);
+}
+
+TEST(FirstLevelTest, LoLcfHeadsTheNonTrashingList) {
+  // 2 sockets, 2 trashers + 1 LLCF + 1 LoLCF: socket 0 gets the trashers,
+  // socket 1 must start with the LoLCF vCPU (line 11).
+  std::vector<VcpuClass> vcpus = {
+      Make(0, 0, VcpuType::kLlco), Make(1, 1, VcpuType::kLlco),
+      Make(2, 2, VcpuType::kLlcf), Make(3, 3, VcpuType::kLoLcf)};
+  const SocketAssignment a = FirstLevelClustering(vcpus, 2);
+  ASSERT_EQ(a.per_socket[1].size(), 2u);
+  EXPECT_EQ(a.per_socket[1][0], 3);  // the LoLCF vCPU first
+}
+
+TEST(FirstLevelTest, IoTrashingVariantLandsWithTrashers) {
+  std::vector<VcpuClass> vcpus = {MakeTrashing(0, 0, VcpuType::kIoInt),
+                                  Make(1, 1, VcpuType::kLlcf),
+                                  Make(2, 2, VcpuType::kLlco),
+                                  Make(3, 3, VcpuType::kLlcf)};
+  const SocketAssignment a = FirstLevelClustering(vcpus, 2);
+  // Socket 0 receives the trashing list first: IOInt+ and the LLCO vCPU.
+  EXPECT_EQ((std::set<int>{a.per_socket[0].begin(), a.per_socket[0].end()}),
+            (std::set<int>{0, 2}));
+}
+
+TEST(SecondLevelTest, SingleQlcClusterTakesWholeSocket) {
+  std::vector<VcpuClass> vcpus;
+  for (int i = 0; i < 8; ++i) {
+    vcpus.push_back(Make(i, i / 4, VcpuType::kIoInt));
+  }
+  const auto pools =
+      SecondLevelClustering(vcpus, {0, 1}, PaperCalibration(), "T.");
+  ASSERT_EQ(pools.size(), 1u);
+  EXPECT_EQ(pools[0].quantum, Ms(1));
+  EXPECT_EQ(pools[0].pcpus.size(), 2u);
+  EXPECT_EQ(pools[0].vcpus.size(), 8u);
+}
+
+TEST(SecondLevelTest, BallastRoundsClustersToFairness) {
+  // 5 ConSpin + 3 LoLCF on 2 pCPUs: k = 4; ballast tops the 1ms cluster to 8.
+  std::vector<VcpuClass> vcpus;
+  for (int i = 0; i < 5; ++i) {
+    vcpus.push_back(Make(i, 0, VcpuType::kConSpin));
+  }
+  for (int i = 5; i < 8; ++i) {
+    vcpus.push_back(Make(i, 1, VcpuType::kLoLcf));
+  }
+  const auto pools =
+      SecondLevelClustering(vcpus, {0, 1}, PaperCalibration(), "T.");
+  ASSERT_EQ(pools.size(), 1u);
+  EXPECT_EQ(pools[0].quantum, Ms(1));
+  EXPECT_EQ(pools[0].vcpus.size(), 8u);
+}
+
+TEST(SecondLevelTest, RaggedClustersFallBackToDefaultQuantum) {
+  // 9 LLCF + 7 ConSpin on 4 pCPUs (k = 4): the paper's socket-3 example —
+  // 2 whole pools (8 LLCF @90ms, 4 ConSpin @1ms) and a mixed default pool.
+  std::vector<VcpuClass> vcpus;
+  for (int i = 0; i < 9; ++i) {
+    vcpus.push_back(Make(i, 0, VcpuType::kLlcf));
+  }
+  for (int i = 9; i < 16; ++i) {
+    vcpus.push_back(Make(i, 1, VcpuType::kConSpin));
+  }
+  const auto pools =
+      SecondLevelClustering(vcpus, {0, 1, 2, 3}, PaperCalibration(), "T.");
+  std::map<TimeNs, size_t> pcpus_by_quantum;
+  size_t total_vcpus = 0;
+  for (const PoolSpec& p : pools) {
+    pcpus_by_quantum[p.quantum] += p.pcpus.size();
+    total_vcpus += p.vcpus.size();
+  }
+  EXPECT_EQ(total_vcpus, 16u);
+  EXPECT_EQ(pcpus_by_quantum[Ms(1)], 1u);   // 4 of 7 ConSpin
+  EXPECT_EQ(pcpus_by_quantum[Ms(90)], 2u);  // 8 of 9 LLCF
+  EXPECT_EQ(pcpus_by_quantum[Ms(30)], 1u);  // the mixed leftover C^dq
+}
+
+TEST(SecondLevelTest, EmptySocketGetsIdleDefaultPool) {
+  const auto pools = SecondLevelClustering({}, {0, 1}, PaperCalibration(), "T.");
+  ASSERT_EQ(pools.size(), 1u);
+  EXPECT_EQ(pools[0].pcpus.size(), 2u);
+  EXPECT_TRUE(pools[0].vcpus.empty());
+}
+
+TEST(TwoLevelTest, PaperFig3Example) {
+  // §3.5: 12 IOInt+, 7 ConSpin-, 17 LLCF, 12 LLCO on 3 usable sockets of
+  // 4 pCPUs (the dom0 socket is excluded from the topology).
+  std::vector<VcpuClass> vcpus;
+  int id = 0;
+  for (int i = 0; i < 12; ++i) {
+    vcpus.push_back(MakeTrashing(id++, 0, VcpuType::kIoInt));
+  }
+  for (int i = 0; i < 7; ++i) {
+    vcpus.push_back(Make(id++, 1, VcpuType::kConSpin));
+  }
+  for (int i = 0; i < 17; ++i) {
+    vcpus.push_back(Make(id++, 2, VcpuType::kLlcf));
+  }
+  for (int i = 0; i < 12; ++i) {
+    vcpus.push_back(Make(id++, 3, VcpuType::kLlco));
+  }
+  Topology topo = MakeE54603Topology();
+  topo.sockets = 3;
+  const PoolPlan plan = BuildTwoLevelPlan(vcpus, topo, PaperCalibration());
+  EXPECT_EQ(plan.Validate(12, [&] {
+              std::vector<int> ids;
+              for (const auto& v : vcpus) {
+                ids.push_back(v.vcpu);
+              }
+              return ids;
+            }()),
+            "");
+
+  // Fairness: every pCPU serves exactly 4 vCPUs.
+  std::map<int, size_t> load;
+  for (const PoolSpec& p : plan.pools) {
+    for (int pc : p.pcpus) {
+      load[pc] += p.vcpus.size() / p.pcpus.size();
+    }
+  }
+  for (const auto& [pcpu, n] : load) {
+    EXPECT_EQ(n, 4u) << "pCPU " << pcpu;
+  }
+  // Socket 0 fills up with the trashing list (12 IOInt+ and 4 LLCO), so no
+  // 90 ms LLCF pool may live there; LLCF pools appear on the mixed socket 1
+  // and the non-trashing socket 2.
+  bool has_90ms = false;
+  for (const PoolSpec& p : plan.pools) {
+    if (p.quantum == Ms(90)) {
+      has_90ms = true;
+      for (int pc : p.pcpus) {
+        EXPECT_NE(topo.SocketOf(pc), 0);
+      }
+    }
+  }
+  EXPECT_TRUE(has_90ms);
+}
+
+// Property sweep: random type mixes always yield a structurally valid plan
+// with balanced pCPU loads.
+class ClusteringPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusteringPropertyTest, PlansAlwaysValidAndFair) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  Topology topo = MakeE54603Topology();
+  topo.sockets = 1 + static_cast<int>(rng.UniformInt(0, 3));
+  const int pcpus = topo.TotalPcpus();
+  const int density = static_cast<int>(rng.UniformInt(1, 4));
+  const int total = pcpus * density;
+
+  std::vector<VcpuClass> vcpus;
+  std::vector<int> ids;
+  for (int i = 0; i < total; ++i) {
+    const auto type = static_cast<VcpuType>(rng.UniformInt(0, kNumVcpuTypes - 1));
+    const bool trashy = rng.Bernoulli(0.3);
+    vcpus.push_back(trashy ? MakeTrashing(i, i / 4, type) : Make(i, i / 4, type));
+    ids.push_back(i);
+  }
+  const PoolPlan plan = BuildTwoLevelPlan(vcpus, topo, PaperCalibration());
+  ASSERT_EQ(plan.Validate(pcpus, ids), "");
+
+  // Fairness within each pool: vCPU count within one of the fairness unit.
+  for (const PoolSpec& p : plan.pools) {
+    if (p.vcpus.empty()) {
+      continue;
+    }
+    const double per_pcpu =
+        static_cast<double>(p.vcpus.size()) / static_cast<double>(p.pcpus.size());
+    EXPECT_LE(per_pcpu, density + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusteringPropertyTest, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace aql

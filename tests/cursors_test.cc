@@ -1,0 +1,171 @@
+// Tests for the vTRS cursor algebra (equations 1-5) and classification,
+// including parameterized property sweeps over the level space.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cursors.h"
+
+namespace aql {
+namespace {
+
+VtrsConfig Config() {
+  VtrsConfig c;
+  c.io_limit = 2.0;
+  c.conspin_limit = 5.0;
+  c.llc_rr_limit = 1.0;
+  c.llc_mr_limit = 80.0;
+  return c;
+}
+
+TEST(CursorsTest, IoCursorSaturatesAtLimit) {
+  Levels l;
+  l.io_events = 1.0;
+  EXPECT_DOUBLE_EQ(ComputeCursors(l, Config()).io, 50.0);
+  l.io_events = 2.0;
+  EXPECT_DOUBLE_EQ(ComputeCursors(l, Config()).io, 100.0);
+  l.io_events = 50.0;
+  EXPECT_DOUBLE_EQ(ComputeCursors(l, Config()).io, 100.0);
+}
+
+TEST(CursorsTest, ConSpinCursorSaturatesAtLimit) {
+  Levels l;
+  l.pause_exits = 2.5;
+  EXPECT_DOUBLE_EQ(ComputeCursors(l, Config()).conspin, 50.0);
+  l.pause_exits = 500;
+  EXPECT_DOUBLE_EQ(ComputeCursors(l, Config()).conspin, 100.0);
+}
+
+TEST(CursorsTest, PureLoLcfProfile) {
+  Levels l;
+  l.llc_rr = 0.02;  // almost no LLC references
+  const CursorSet c = ComputeCursors(l, Config());
+  EXPECT_NEAR(c.lolcf, 98.0, 0.1);
+  EXPECT_NEAR(c.lolcf + c.llcf + c.llco, 100.0, 1e-9);
+}
+
+TEST(CursorsTest, PureLlcfProfile) {
+  Levels l;
+  l.llc_rr = 3.0;      // many references
+  l.llc_mr_pct = 4.0;  // nearly all hit
+  const CursorSet c = ComputeCursors(l, Config());
+  EXPECT_DOUBLE_EQ(c.lolcf, 0.0);
+  EXPECT_NEAR(c.llcf, 95.0, 0.1);
+  EXPECT_NEAR(c.llco, 5.0, 0.1);
+}
+
+TEST(CursorsTest, PureLlcoProfile) {
+  Levels l;
+  l.llc_rr = 5.0;
+  l.llc_mr_pct = 92.0;  // above the limit
+  const CursorSet c = ComputeCursors(l, Config());
+  EXPECT_DOUBLE_EQ(c.llcf, 0.0);
+  EXPECT_DOUBLE_EQ(c.llco, 100.0);
+}
+
+TEST(CursorsTest, LlcfCappedByComplementOfLoLcf) {
+  // Equation (4): LLCF cannot exceed 100 - LoLCF even with a tiny miss rate.
+  Levels l;
+  l.llc_rr = 0.5;  // LoLCF cursor = 50
+  l.llc_mr_pct = 0.0;
+  const CursorSet c = ComputeCursors(l, Config());
+  EXPECT_DOUBLE_EQ(c.lolcf, 50.0);
+  EXPECT_DOUBLE_EQ(c.llcf, 50.0);
+  EXPECT_DOUBLE_EQ(c.llco, 0.0);
+}
+
+TEST(CursorsTest, ClassifyPrefersIoOnTies) {
+  CursorSet c;
+  c.io = 100;
+  c.llco = 100;
+  EXPECT_EQ(Classify(c), VcpuType::kIoInt);
+}
+
+TEST(CursorsTest, ClassifyPicksHighest) {
+  CursorSet c;
+  c.conspin = 80;
+  c.lolcf = 60;
+  EXPECT_EQ(Classify(c), VcpuType::kConSpin);
+  c.llcf = 90;
+  EXPECT_EQ(Classify(c), VcpuType::kLlcf);
+}
+
+TEST(CursorsTest, TrashingPredicateUsesLlcoCursor) {
+  CursorSet c;
+  c.llco = 60;
+  c.llcf = 40;
+  EXPECT_TRUE(IsTrashing(c));
+  c.llcf = 70;
+  EXPECT_FALSE(IsTrashing(c));
+  c.llcf = 0;
+  c.lolcf = 80;
+  c.llco = 20;
+  EXPECT_FALSE(IsTrashing(c));
+}
+
+TEST(CursorsTest, LevelsFromPmuDelta) {
+  PmuCounters d;
+  d.instructions = 1000000;
+  d.llc_references = 2500;
+  d.llc_misses = 500;
+  d.io_events = 7;
+  d.pause_exits = 3;
+  const Levels l = LevelsFromPmuDelta(d);
+  EXPECT_DOUBLE_EQ(l.llc_rr, 2.5);  // RPKI
+  EXPECT_DOUBLE_EQ(l.llc_mr_pct, 20.0);
+  EXPECT_DOUBLE_EQ(l.io_events, 7.0);
+  EXPECT_DOUBLE_EQ(l.pause_exits, 3.0);
+}
+
+TEST(CursorsTest, LevelsFromEmptyDeltaAreZero) {
+  const Levels l = LevelsFromPmuDelta(PmuCounters{});
+  EXPECT_DOUBLE_EQ(l.llc_rr, 0.0);
+  EXPECT_DOUBLE_EQ(l.llc_mr_pct, 0.0);
+}
+
+// Property sweep over the level space: equation (2) holds, all cursors stay
+// in [0, 100], and cursors are monotone in their driving level.
+struct LevelCase {
+  double io;
+  double spins;
+  double rr;
+  double mr;
+};
+
+class CursorPropertyTest : public ::testing::TestWithParam<LevelCase> {};
+
+TEST_P(CursorPropertyTest, InvariantsHold) {
+  const LevelCase& p = GetParam();
+  Levels l;
+  l.io_events = p.io;
+  l.pause_exits = p.spins;
+  l.llc_rr = p.rr;
+  l.llc_mr_pct = p.mr;
+  const CursorSet c = ComputeCursors(l, Config());
+
+  for (double v : {c.io, c.conspin, c.lolcf, c.llcf, c.llco}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 100.0);
+  }
+  // Equation (2): CPU-burn cursors sum to exactly 100.
+  EXPECT_NEAR(c.lolcf + c.llcf + c.llco, 100.0, 1e-9);
+
+  // Monotonicity: more I/O events never lowers the IO cursor; a higher miss
+  // ratio never raises the LLCF cursor.
+  Levels more_io = l;
+  more_io.io_events += 1.0;
+  EXPECT_GE(ComputeCursors(more_io, Config()).io, c.io);
+  Levels more_misses = l;
+  more_misses.llc_mr_pct = std::min(100.0, l.llc_mr_pct + 10.0);
+  EXPECT_LE(ComputeCursors(more_misses, Config()).llcf, c.llcf + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LevelGrid, CursorPropertyTest,
+    ::testing::Values(LevelCase{0, 0, 0, 0}, LevelCase{1, 0, 0.5, 10},
+                      LevelCase{5, 2, 1.5, 30}, LevelCase{0, 20, 3.0, 60},
+                      LevelCase{10, 10, 0.9, 79}, LevelCase{0.5, 0.5, 1.0, 80},
+                      LevelCase{3, 7, 2.0, 95}, LevelCase{100, 100, 10, 100},
+                      LevelCase{0, 0, 0.99, 79.9}, LevelCase{2, 5, 1.01, 80.1}));
+
+}  // namespace
+}  // namespace aql

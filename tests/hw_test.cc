@@ -1,0 +1,153 @@
+// Unit tests for the hardware model: topology and the LLC occupancy model.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/llc_model.h"
+#include "src/hw/topology.h"
+
+namespace aql {
+namespace {
+
+constexpr uint64_t kMiB = 1024 * 1024;
+
+TEST(TopologyTest, SocketMapping) {
+  Topology t = MakeE54603Topology();
+  EXPECT_EQ(t.TotalPcpus(), 16);
+  EXPECT_EQ(t.SocketOf(0), 0);
+  EXPECT_EQ(t.SocketOf(3), 0);
+  EXPECT_EQ(t.SocketOf(4), 1);
+  EXPECT_EQ(t.SocketOf(15), 3);
+}
+
+TEST(TopologyTest, PcpusOfSocket) {
+  Topology t = MakeE54603Topology();
+  const std::vector<int> s2 = t.PcpusOfSocket(2);
+  EXPECT_EQ(s2, (std::vector<int>{8, 9, 10, 11}));
+}
+
+TEST(TopologyTest, I73770Preset) {
+  Topology t = MakeI73770Topology(4);
+  EXPECT_EQ(t.sockets, 1);
+  EXPECT_EQ(t.TotalPcpus(), 4);
+  EXPECT_EQ(t.llc_bytes, 8ull * kMiB);
+  EXPECT_EQ(t.l2_bytes, 256ull * 1024);
+}
+
+class LlcModelTest : public ::testing::Test {
+ protected:
+  HwParams params_;
+  LlcModel llc_{2, 8 * kMiB, HwParams{}};
+};
+
+TEST_F(LlcModelTest, ColdCacheHasFullMissRatio) {
+  EXPECT_DOUBLE_EQ(llc_.MissRatio(0, 1, 4 * kMiB), 1.0);
+}
+
+TEST_F(LlcModelTest, WarmupReducesMissRatio) {
+  // Fetch half of a 4 MiB working set: 32768 lines.
+  llc_.CommitAccesses(0, 1, 4 * kMiB, 32768);
+  EXPECT_NEAR(llc_.MissRatio(0, 1, 4 * kMiB), 0.5, 0.01);
+  EXPECT_EQ(llc_.Occupancy(0, 1), 2 * kMiB);
+}
+
+TEST_F(LlcModelTest, FullyWarmHitsResidualFloor) {
+  llc_.CommitAccesses(0, 1, 4 * kMiB, 70000);
+  EXPECT_EQ(llc_.Occupancy(0, 1), 4 * kMiB);  // bounded by WSS
+  EXPECT_DOUBLE_EQ(llc_.MissRatio(0, 1, 4 * kMiB), params_.min_miss_ratio);
+}
+
+TEST_F(LlcModelTest, OccupancyBoundedByCapacity) {
+  llc_.CommitAccesses(0, 1, 6 * kMiB, 1 << 20);
+  llc_.CommitAccesses(0, 2, 6 * kMiB, 1 << 20);
+  EXPECT_LE(llc_.TotalOccupancy(0), 8 * kMiB);
+}
+
+TEST_F(LlcModelTest, OverflowEvictsCoResidents) {
+  llc_.CommitAccesses(0, 1, 6 * kMiB, 100000);  // ~6 MiB resident
+  const uint64_t before = llc_.Occupancy(0, 1);
+  llc_.CommitAccesses(0, 2, 6 * kMiB, 100000);
+  EXPECT_LT(llc_.Occupancy(0, 1), before);
+  EXPECT_GT(llc_.Occupancy(0, 2), 0u);
+  EXPECT_LE(llc_.TotalOccupancy(0), 8 * kMiB);
+}
+
+TEST_F(LlcModelTest, RunningVcpuIsRecencyProtected) {
+  llc_.CommitAccesses(0, 1, 4 * kMiB, 65536);  // vcpu 1 fully warm
+  llc_.CommitAccesses(0, 2, 4 * kMiB, 65536);  // vcpu 2 warm; socket full
+
+  // vcpu 1 running, vcpu 2 descheduled: a third fetcher hits vcpu 2 harder.
+  llc_.SetRunning(0, 1, true);
+  llc_.CommitAccesses(0, 3, 2 * kMiB, 32768);
+  const uint64_t survived_running = llc_.Occupancy(0, 1);
+  const uint64_t survived_idle = llc_.Occupancy(0, 2);
+  EXPECT_GT(survived_running, survived_idle);
+}
+
+TEST_F(LlcModelTest, StreamingInsertionIsDamped) {
+  // A streaming workload (WSS > capacity) fetching many lines inserts only
+  // a fraction of them.
+  llc_.CommitAccesses(0, 1, 16 * kMiB, 65536);  // 4 MiB fetched
+  const uint64_t inserted = llc_.Occupancy(0, 1);
+  EXPECT_LT(inserted, 4 * kMiB);
+  EXPECT_NEAR(static_cast<double>(inserted), 4.0 * kMiB * params_.stream_insertion_fraction,
+              64.0 * 1024);
+}
+
+TEST_F(LlcModelTest, RemoveDropsFootprint) {
+  llc_.CommitAccesses(0, 1, 4 * kMiB, 32768);
+  llc_.Remove(0, 1);
+  EXPECT_EQ(llc_.Occupancy(0, 1), 0u);
+  EXPECT_EQ(llc_.TotalOccupancy(0), 0u);
+  // Removing again is a no-op.
+  llc_.Remove(0, 1);
+}
+
+TEST_F(LlcModelTest, SocketsAreIndependent) {
+  llc_.CommitAccesses(0, 1, 4 * kMiB, 32768);
+  EXPECT_EQ(llc_.Occupancy(1, 1), 0u);
+  EXPECT_EQ(llc_.TotalOccupancy(1), 0u);
+}
+
+TEST_F(LlcModelTest, ZeroWssNeverMissesBelowFloor) {
+  EXPECT_DOUBLE_EQ(llc_.MissRatio(0, 9, 0), params_.min_miss_ratio);
+  llc_.CommitAccesses(0, 9, 0, 1000);  // no-op
+  EXPECT_EQ(llc_.Occupancy(0, 9), 0u);
+}
+
+// Property sweep: after arbitrary interleaved commits, the per-socket total
+// never exceeds capacity and matches the sum of occupancies.
+class LlcInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LlcInvariantTest, TotalsConsistent) {
+  const int seed = GetParam();
+  LlcModel llc(1, 8 * kMiB, HwParams{});
+  uint64_t state = static_cast<uint64_t>(seed) * 2654435761u + 12345;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int step = 0; step < 200; ++step) {
+    const int vcpu = static_cast<int>(next() % 6);
+    const uint64_t wss = (1 + next() % 16) * kMiB;
+    const uint64_t misses = next() % 50000;
+    if (next() % 8 == 0) {
+      llc.Remove(0, vcpu);
+    } else {
+      llc.SetRunning(0, vcpu, next() % 2 == 0);
+      llc.CommitAccesses(0, vcpu, wss, misses);
+    }
+    ASSERT_LE(llc.TotalOccupancy(0), 8 * kMiB);
+    uint64_t sum = 0;
+    for (int v = 0; v < 6; ++v) {
+      const uint64_t occ = llc.Occupancy(0, v);
+      ASSERT_LE(occ, 8 * kMiB);
+      sum += occ;
+    }
+    ASSERT_EQ(sum, llc.TotalOccupancy(0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LlcInvariantTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace aql

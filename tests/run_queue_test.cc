@@ -1,0 +1,211 @@
+// Unit tests for the priority-class run queue and credit scheduler policies.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/hv/credit_scheduler.h"
+#include "src/hv/run_queue.h"
+#include "src/hv/vm.h"
+#include "src/workload/cpu_burn.h"
+
+namespace aql {
+namespace {
+
+std::unique_ptr<WorkloadModel> DummyWorkload() {
+  return std::make_unique<CpuBurnModel>(CpuBurnConfig{});
+}
+
+class RunQueueTest : public ::testing::Test {
+ protected:
+  Vcpu* MakeVcpu(double credits, bool boosted = false) {
+    Vcpu* v = vm_.AddVcpu(next_id_++, DummyWorkload());
+    v->credits = credits;
+    v->boosted = boosted;
+    v->state = RunState::kRunnable;
+    return v;
+  }
+
+  Vm vm_{0, "vm0"};
+  int next_id_ = 0;
+  RunQueue q_;
+};
+
+TEST_F(RunQueueTest, PriorityDerivation) {
+  EXPECT_EQ(MakeVcpu(10)->priority(), Priority::kUnder);
+  EXPECT_EQ(MakeVcpu(-10)->priority(), Priority::kOver);
+  EXPECT_EQ(MakeVcpu(-10, true)->priority(), Priority::kBoost);
+}
+
+TEST_F(RunQueueTest, PopsBoostBeforeUnderBeforeOver) {
+  Vcpu* over = MakeVcpu(-1);
+  Vcpu* boost = MakeVcpu(1, true);
+  Vcpu* under = MakeVcpu(1);
+  q_.PushBack(over);
+  q_.PushBack(under);
+  q_.PushBack(boost);
+  EXPECT_EQ(q_.PopBest(), boost);
+  EXPECT_EQ(q_.PopBest(), under);
+  EXPECT_EQ(q_.PopBest(), over);
+  EXPECT_EQ(q_.PopBest(), nullptr);
+}
+
+TEST_F(RunQueueTest, FifoWithinClass) {
+  Vcpu* a = MakeVcpu(1);
+  Vcpu* b = MakeVcpu(1);
+  q_.PushBack(a);
+  q_.PushBack(b);
+  EXPECT_EQ(q_.PopBest(), a);
+  EXPECT_EQ(q_.PopBest(), b);
+}
+
+TEST_F(RunQueueTest, PushFrontJumpsClassQueue) {
+  Vcpu* a = MakeVcpu(1);
+  Vcpu* b = MakeVcpu(1);
+  q_.PushBack(a);
+  q_.PushFront(b);
+  EXPECT_EQ(q_.PopBest(), b);
+}
+
+TEST_F(RunQueueTest, RemoveSpecificVcpu) {
+  Vcpu* a = MakeVcpu(1);
+  Vcpu* b = MakeVcpu(1);
+  q_.PushBack(a);
+  q_.PushBack(b);
+  EXPECT_TRUE(q_.Remove(a));
+  EXPECT_FALSE(q_.Remove(a));
+  EXPECT_EQ(q_.Size(), 1u);
+  EXPECT_EQ(q_.PopBest(), b);
+}
+
+TEST_F(RunQueueTest, RebucketReflectsPriorityChanges) {
+  Vcpu* a = MakeVcpu(1);
+  Vcpu* b = MakeVcpu(1);
+  q_.PushBack(a);
+  q_.PushBack(b);
+  a->credits = -5;  // drops to OVER
+  q_.Rebucket();
+  EXPECT_EQ(q_.PopBest(), b);
+  EXPECT_EQ(q_.PopBest(), a);
+}
+
+class CreditSchedulerTest : public ::testing::Test {
+ protected:
+  CreditSchedulerTest() : sched_(4, CreditParams{}) {}
+
+  Vcpu* MakeVcpu(Vm& vm, int pool = 0) {
+    Vcpu* v = vm.AddVcpu(next_id_++, DummyWorkload());
+    v->state = RunState::kRunnable;
+    v->pool = pool;
+    return v;
+  }
+
+  CreditScheduler sched_;
+  Vm vm_{0, "vm0", 256};
+  Vm heavy_{1, "vm1", 512};
+  int next_id_ = 0;
+};
+
+TEST_F(CreditSchedulerTest, DefaultSinglePool) {
+  EXPECT_EQ(sched_.NumPools(), 1);
+  EXPECT_EQ(sched_.PoolOf(3), 0);
+  EXPECT_EQ(sched_.PoolQuantum(0), Ms(30));
+}
+
+TEST_F(CreditSchedulerTest, SetPoolsPartitionsPcpus) {
+  std::vector<PoolSpec> pools(2);
+  pools[0].label = "fast";
+  pools[0].pcpus = {0, 1};
+  pools[0].quantum = Ms(1);
+  pools[1].label = "slow";
+  pools[1].pcpus = {2, 3};
+  pools[1].quantum = Ms(90);
+  sched_.SetPools(pools);
+  EXPECT_EQ(sched_.NumPools(), 2);
+  EXPECT_EQ(sched_.PoolOf(1), 0);
+  EXPECT_EQ(sched_.PoolOf(2), 1);
+  EXPECT_EQ(sched_.PoolQuantum(1), Ms(90));
+}
+
+TEST_F(CreditSchedulerTest, QuantumOverrideTakesMinimum) {
+  Vcpu* v = MakeVcpu(vm_);
+  EXPECT_EQ(sched_.QuantumFor(0, *v), Ms(30));
+  v->quantum_override = Ms(1);
+  EXPECT_EQ(sched_.QuantumFor(0, *v), Ms(1));
+  v->quantum_override = Ms(100);  // larger than pool: pool wins
+  EXPECT_EQ(sched_.QuantumFor(0, *v), Ms(30));
+}
+
+TEST_F(CreditSchedulerTest, PickNextStealsWithinPool) {
+  Vcpu* v = MakeVcpu(vm_);
+  sched_.Enqueue(v, 2);
+  EXPECT_EQ(sched_.PickNext(0), v);  // pcpu 0's queue empty: steals from 2
+}
+
+TEST_F(CreditSchedulerTest, PickNextDoesNotStealAcrossPools) {
+  std::vector<PoolSpec> pools(2);
+  pools[0].pcpus = {0, 1};
+  pools[0].quantum = Ms(1);
+  pools[1].pcpus = {2, 3};
+  pools[1].quantum = Ms(30);
+  sched_.SetPools(pools);
+  Vcpu* v = MakeVcpu(vm_, /*pool=*/1);
+  sched_.Enqueue(v, 2);
+  EXPECT_EQ(sched_.PickNext(0), nullptr);
+  EXPECT_EQ(sched_.PickNext(3), v);
+}
+
+TEST_F(CreditSchedulerTest, ChooseWakePcpuPrefersIdleHome) {
+  Vcpu* v = MakeVcpu(vm_);
+  v->home_pcpu = 2;
+  std::vector<bool> idle = {true, true, true, true};
+  EXPECT_EQ(sched_.ChooseWakePcpu(*v, idle), 2);
+  idle[2] = false;
+  EXPECT_EQ(sched_.ChooseWakePcpu(*v, idle), 0);  // first idle
+}
+
+TEST_F(CreditSchedulerTest, AccountingGrantsProportionalShares) {
+  Vcpu* light = MakeVcpu(vm_);     // weight 256
+  Vcpu* heavy = MakeVcpu(heavy_);  // weight 512
+  light->period_runtime = Ms(10);
+  heavy->period_runtime = Ms(10);
+  sched_.AccountPeriod({light, heavy});
+  // Capacity = 30ms * 4 pcpus = 120ms; shares 40ms and 80ms; both consumed
+  // 10ms. Upper clamp is one share.
+  EXPECT_NEAR(light->credits, 30e6, 1e3);
+  EXPECT_NEAR(heavy->credits, 70e6, 1e3);
+  EXPECT_EQ(light->period_runtime, 0);
+}
+
+TEST_F(CreditSchedulerTest, OverconsumptionGoesNegative) {
+  Vcpu* a = MakeVcpu(vm_);
+  Vcpu* b = MakeVcpu(vm_);
+  a->period_runtime = Ms(100);
+  b->period_runtime = Ms(20);
+  sched_.AccountPeriod({a, b});
+  EXPECT_LT(a->credits, 0.0);
+  EXPECT_EQ(a->priority(), Priority::kOver);
+  EXPECT_GT(b->credits, 0.0);
+}
+
+TEST_F(CreditSchedulerTest, CapLimitsShare) {
+  Vm capped(2, "capped", 256, /*cap_percent=*/10);
+  Vcpu* v = capped.AddVcpu(next_id_++, DummyWorkload());
+  v->state = RunState::kRunnable;
+  v->period_runtime = 0;
+  sched_.AccountPeriod({v});
+  // Cap: 10% of 30ms = 3ms max entitlement this period.
+  EXPECT_LE(v->credits, 3e6 + 1e3);
+}
+
+TEST_F(CreditSchedulerTest, BlockedIdleVcpuNotCharged) {
+  Vcpu* v = MakeVcpu(vm_);
+  v->state = RunState::kBlocked;
+  v->period_runtime = 0;
+  v->credits = 5e6;
+  sched_.AccountPeriod({v});
+  EXPECT_DOUBLE_EQ(v->credits, 5e6);  // untouched
+}
+
+}  // namespace
+}  // namespace aql

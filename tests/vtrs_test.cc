@@ -1,0 +1,117 @@
+// Tests for the sliding-window vTRS classifier.
+
+#include <gtest/gtest.h>
+
+#include "src/core/vtrs.h"
+
+namespace aql {
+namespace {
+
+Levels IoLevels(double events) {
+  Levels l;
+  l.io_events = events;
+  l.llc_rr = 2.0;
+  l.llc_mr_pct = 90.0;
+  return l;
+}
+
+Levels LlcfLevels() {
+  Levels l;
+  l.llc_rr = 3.0;
+  l.llc_mr_pct = 5.0;
+  return l;
+}
+
+Levels LlcoLevels() {
+  Levels l;
+  l.llc_rr = 4.0;
+  l.llc_mr_pct = 95.0;
+  return l;
+}
+
+TEST(VtrsTest, UnobservedVcpuHasZeroCursors) {
+  Vtrs vtrs{VtrsConfig{}};
+  const CursorSet avg = vtrs.Average(42);
+  EXPECT_DOUBLE_EQ(avg.io, 0.0);
+  EXPECT_EQ(vtrs.SampleCount(42), 0);
+  EXPECT_FALSE(vtrs.WindowFull(42));
+}
+
+TEST(VtrsTest, WindowFillsToConfiguredLength) {
+  VtrsConfig cfg;
+  cfg.window = 4;
+  Vtrs vtrs(cfg);
+  for (int i = 0; i < 3; ++i) {
+    vtrs.Observe(0, LlcfLevels());
+  }
+  EXPECT_FALSE(vtrs.WindowFull(0));
+  vtrs.Observe(0, LlcfLevels());
+  EXPECT_TRUE(vtrs.WindowFull(0));
+  EXPECT_EQ(vtrs.SampleCount(0), 4);
+  vtrs.Observe(0, LlcfLevels());
+  EXPECT_EQ(vtrs.SampleCount(0), 4);  // slides, does not grow
+}
+
+TEST(VtrsTest, SteadySignalClassifies) {
+  Vtrs vtrs{VtrsConfig{}};
+  for (int i = 0; i < 4; ++i) {
+    vtrs.Observe(0, IoLevels(10));
+    vtrs.Observe(1, LlcfLevels());
+    vtrs.Observe(2, LlcoLevels());
+  }
+  EXPECT_EQ(vtrs.TypeOf(0), VcpuType::kIoInt);
+  EXPECT_EQ(vtrs.TypeOf(1), VcpuType::kLlcf);
+  EXPECT_EQ(vtrs.TypeOf(2), VcpuType::kLlco);
+  EXPECT_TRUE(vtrs.IsTrashingVcpu(2));
+  EXPECT_FALSE(vtrs.IsTrashingVcpu(1));
+}
+
+TEST(VtrsTest, WindowSmoothsTransients) {
+  Vtrs vtrs{VtrsConfig{}};
+  for (int i = 0; i < 4; ++i) {
+    vtrs.Observe(0, LlcfLevels());
+  }
+  // One noisy LLCO period does not flip a full LLCF window.
+  vtrs.Observe(0, LlcoLevels());
+  EXPECT_EQ(vtrs.TypeOf(0), VcpuType::kLlcf);
+  // But a sustained change does.
+  for (int i = 0; i < 3; ++i) {
+    vtrs.Observe(0, LlcoLevels());
+  }
+  EXPECT_EQ(vtrs.TypeOf(0), VcpuType::kLlco);
+}
+
+TEST(VtrsTest, TypeTransitionLatencyIsWindowBound) {
+  VtrsConfig cfg;
+  cfg.window = 4;
+  Vtrs vtrs(cfg);
+  for (int i = 0; i < 8; ++i) {
+    vtrs.Observe(0, IoLevels(10));
+  }
+  int periods = 0;
+  while (vtrs.TypeOf(0) != VcpuType::kLlcf && periods < 10) {
+    vtrs.Observe(0, LlcfLevels());
+    ++periods;
+  }
+  EXPECT_LE(periods, cfg.window);
+}
+
+TEST(VtrsTest, ForgetDropsState) {
+  Vtrs vtrs{VtrsConfig{}};
+  vtrs.Observe(0, LlcfLevels());
+  vtrs.Forget(0);
+  EXPECT_EQ(vtrs.SampleCount(0), 0);
+}
+
+TEST(VtrsTest, AverageIsMeanOfWindow) {
+  VtrsConfig cfg;
+  cfg.window = 2;
+  Vtrs vtrs(cfg);
+  vtrs.Observe(0, IoLevels(10));  // io cursor 100
+  vtrs.Observe(0, IoLevels(1));   // io cursor 50
+  EXPECT_NEAR(vtrs.Average(0).io, 75.0, 1e-9);
+  EXPECT_NEAR(vtrs.Latest(0).io, 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aql
