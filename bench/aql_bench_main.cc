@@ -1,0 +1,150 @@
+// aql_bench: unified driver for the paper-figure sweeps.
+//
+//   aql_bench --list                     enumerate registered sweeps
+//   aql_bench --run <name> [--run ...]   run selected sweeps
+//   aql_bench --all                      run every registered sweep
+//
+// Options:
+//   --jobs N         worker threads for (scenario, policy) cells
+//                    (default: hardware concurrency; results are identical
+//                    for every N — cells are seeded per-cell)
+//   --quick          scaled-down simulated durations (CI smoke)
+//   --out DIR        output directory for BENCH_<name>.json (default ".")
+//   --stable-json    omit wall-clock timing from JSON (byte-comparable runs)
+//   --no-json        skip JSON emission entirely
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/experiment/registry.h"
+#include "src/metrics/table.h"
+
+namespace aql {
+namespace {
+
+void Usage(FILE* out) {
+  std::fprintf(out,
+               "usage: aql_bench (--list | --all | --run <name>...) "
+               "[--jobs N] [--quick] [--out DIR] [--stable-json] [--no-json]\n");
+}
+
+int DefaultJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ListSweeps(const SweepOptions& options) {
+  TextTable table({"sweep", "cells", "description"});
+  for (const SweepSpec* spec : SweepRegistry::Instance().All()) {
+    table.AddRow({spec->name, std::to_string(spec->build(options).size()),
+                  spec->description});
+  }
+  std::printf("%zu registered sweeps (cell counts for %s mode):\n%s",
+              SweepRegistry::Instance().size(), options.quick ? "quick" : "full",
+              table.ToString().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  SweepOptions options;
+  options.jobs = DefaultJobs();
+
+  bool list = false;
+  bool all = false;
+  bool write_json = true;
+  bool stable_json = false;
+  std::string out_dir = ".";
+  std::vector<std::string> names;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aql_bench: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--run") {
+      names.push_back(value());
+    } else if (arg == "--jobs") {
+      options.jobs = std::atoi(value());
+      if (options.jobs < 1) {
+        std::fprintf(stderr, "aql_bench: --jobs must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--out") {
+      out_dir = value();
+    } else if (arg == "--stable-json") {
+      stable_json = true;
+    } else if (arg == "--no-json") {
+      write_json = false;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "aql_bench: unknown argument: %s\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+
+  if (list) {
+    return ListSweeps(options);
+  }
+  if (all) {
+    for (const SweepSpec* spec : SweepRegistry::Instance().All()) {
+      if (std::find(names.begin(), names.end(), spec->name) == names.end()) {
+        names.push_back(spec->name);
+      }
+    }
+  }
+  if (names.empty()) {
+    Usage(stderr);
+    return 2;
+  }
+
+  for (const std::string& name : names) {
+    const SweepSpec* spec = SweepRegistry::Instance().Find(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "aql_bench: unknown sweep: %s (try --list)\n", name.c_str());
+      return 2;
+    }
+    std::printf("=== %s (%s%s, jobs=%d) ===\n", name.c_str(),
+                options.quick ? "quick" : "full",
+                stable_json ? ", stable-json" : "", options.jobs);
+    std::fflush(stdout);
+
+    const SweepResult result = RunSweep(*spec, options);
+    std::fputs(result.text.c_str(), stdout);
+    std::printf("[%s] %zu cells in %.2fs wall\n", name.c_str(), result.cells.size(),
+                result.wall_seconds);
+
+    if (write_json) {
+      // --stable-json writes the deterministic projection (no wall-clock
+      // fields), byte-comparable across runs and thread counts.
+      const std::string path =
+          WriteSweepJson(result, out_dir, /*include_timing=*/!stable_json);
+      std::printf("[%s] wrote %s\n", name.c_str(), path.c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aql
+
+int main(int argc, char** argv) { return aql::Main(argc, argv); }

@@ -1,0 +1,137 @@
+// §4.3 sweep: AQL_Sched's overhead.
+//
+// Two complementary measurements:
+//  1. In-simulation: the bookkeeping cost the controller charges (recognition
+//     + clustering, O(max(#pCPUs, #vCPUs)) per decision) as a fraction of
+//     machine capacity, and the end-to-end performance delta of running the
+//     whole AQL machinery on a homogeneous workload that gains nothing from
+//     it (the paper reports < 1% degradation).
+//  2. Wall-clock micro-measurements of the controller's hot paths: cursor
+//     computation, vTRS observation, two-level clustering. These are timing
+//     data (chrono loops), so they land in the JSON `timing` section and
+//     never affect result determinism.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "src/core/aql_controller.h"
+#include "src/core/clustering.h"
+#include "src/core/cursors.h"
+#include "src/core/vtrs.h"
+#include "src/experiment/registry.h"
+#include "src/metrics/table.h"
+
+namespace aql {
+namespace {
+
+std::vector<SweepCell> Build(const SweepOptions& opts) {
+  std::vector<SweepCell> cells;
+  for (const char* policy : {"xen", "aql"}) {
+    SweepCell cell;
+    cell.id = std::string("probe/") + policy;
+    cell.scenario.machine = SingleSocketMachine(4);
+    cell.scenario.name = "overhead_probe";
+    // Homogeneous LoLCF workload: AQL can only add overhead here.
+    cell.scenario.vms = {{"hmmer", 8}, {"gobmk", 8}};
+    cell.scenario.warmup = opts.Warmup(cell.scenario.warmup);
+    cell.scenario.measure = opts.Measure(Sec(10));
+    cell.policy = std::string(policy) == "aql" ? PolicySpec::Aql() : PolicySpec::Xen();
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+// Times `fn` over `iters` calls; returns nanoseconds per call.
+template <typename Fn>
+double NsPerCall(int iters, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    fn(i);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() / iters;
+}
+
+void Render(SweepContext& ctx) {
+  const ScenarioResult& xen = ctx.Result("probe/xen");
+  const ScenarioResult& aql = ctx.Result("probe/aql");
+
+  TextTable table({"metric", "value"});
+  const double hmmer =
+      NormalizedPerf(FindGroup(aql.groups, "hmmer"), FindGroup(xen.groups, "hmmer"));
+  table.AddRow({"hmmer normalized perf under AQL (1.0 = Xen)", TextTable::Num(hmmer, 4)});
+  const double gobmk =
+      NormalizedPerf(FindGroup(aql.groups, "gobmk"), FindGroup(xen.groups, "gobmk"));
+  table.AddRow({"gobmk normalized perf under AQL (1.0 = Xen)", TextTable::Num(gobmk, 4)});
+  const double capacity = static_cast<double>(aql.measure_window) * 4;
+  const double overhead_pct =
+      100.0 * static_cast<double>(aql.controller_overhead) / capacity;
+  table.AddRow({"controller bookkeeping / machine capacity (%)",
+                TextTable::Num(overhead_pct, 5)});
+  ctx.AddTable("Section 4.3: AQL_Sched overhead (paper: < 1% degradation)", table);
+  ctx.Summary("hmmer_normalized_under_aql", hmmer);
+  ctx.Summary("gobmk_normalized_under_aql", gobmk);
+  ctx.Summary("controller_overhead_pct", overhead_pct);
+
+  // Hot-path micro-measurements (wall clock; kept out of the deterministic
+  // result sections).
+  const int iters = ctx.quick() ? 20000 : 200000;
+  volatile double sink = 0;
+
+  VtrsConfig config;
+  const Levels levels{4.0, 12.0, 2.5, 22.0};
+  const double cursors_ns = NsPerCall(iters, [&](int) {
+    sink = sink + ComputeCursors(levels, config).io;
+  });
+
+  Vtrs vtrs((VtrsConfig()));
+  const double observe_ns = NsPerCall(iters, [&](int i) {
+    vtrs.Observe(i % 64, levels);
+  });
+
+  TextTable micro({"hot path", "ns/op"});
+  micro.AddRow({"ComputeCursors", TextTable::Num(cursors_ns, 1)});
+  micro.AddRow({"Vtrs::Observe", TextTable::Num(observe_ns, 1)});
+  ctx.Timing("compute_cursors_ns_per_op", cursors_ns);
+  ctx.Timing("vtrs_observe_ns_per_op", observe_ns);
+
+  const Topology topo = MakeE54603Topology();
+  const CalibrationTable calib = PaperCalibration();
+  for (int n : {16, 64, 256}) {
+    std::vector<VcpuClass> classes;
+    for (int i = 0; i < n; ++i) {
+      VcpuClass c;
+      c.vcpu = i;
+      c.vm = i / 4;
+      c.type = static_cast<VcpuType>(i % kNumVcpuTypes);
+      c.avg.llco = (i % 5 == 4) ? 90.0 : 10.0;
+      c.avg.llcf = 100.0 - c.avg.llco;
+      classes.push_back(c);
+    }
+    const int cluster_iters = (ctx.quick() ? 200 : 2000) * 256 / n;
+    const double ns = NsPerCall(cluster_iters, [&](int) {
+      sink = sink + static_cast<double>(BuildTwoLevelPlan(classes, topo, calib).pools.size());
+    });
+    micro.AddRow({"BuildTwoLevelPlan n=" + std::to_string(n), TextTable::Num(ns, 1)});
+    ctx.Timing("two_level_clustering_n" + std::to_string(n) + "_ns_per_op", ns);
+  }
+
+  // Wall-clock table: printed for humans, excluded from the JSON tables so
+  // deterministic output stays byte-comparable across runs.
+  ctx.Print("Controller hot paths (wall clock)\n" + micro.ToString() + "\n");
+}
+
+SweepSpec Spec() {
+  SweepSpec spec;
+  spec.name = "overhead";
+  spec.description = "§4.3: AQL overhead probe + controller hot-path micro timings";
+  spec.build = Build;
+  spec.render = Render;
+  return spec;
+}
+
+AQL_REGISTER_SWEEP(Spec);
+
+}  // namespace
+}  // namespace aql

@@ -32,7 +32,7 @@ int main() {
   TextTable table({"application", "metric", "Xen", "AQL_Sched", "normalized (<1 better)"});
   for (const GroupPerf& g : xen.groups) {
     const GroupPerf& a = FindGroup(aql.groups, g.name);
-    const bool is_latency = g.metrics.contains("latency_mean_us");
+    const bool is_latency = g.metrics.count("latency_mean_us") != 0;
     table.AddRow({g.name, is_latency ? "mean latency (us)" : "cost per unit work",
                   TextTable::Num(g.primary, 3), TextTable::Num(a.primary, 3),
                   TextTable::Num(NormalizedPerf(a, g), 3)});
@@ -40,8 +40,8 @@ int main() {
   std::printf("%s\n", table.ToString().c_str());
 
   std::printf("AQL detected types and pools:\n");
-  for (const std::string& label : aql.pool_labels) {
-    std::printf("  pool %s\n", label.c_str());
+  for (const auto& pool : aql.pools) {
+    std::printf("  pool %s\n", pool.label.c_str());
   }
   std::printf("controller overhead: %.4f%% of machine capacity\n",
               100.0 * static_cast<double>(aql.controller_overhead) /

@@ -45,8 +45,8 @@ int main() {
   std::printf("%s\n", table.ToString().c_str());
 
   std::printf("AQL pools: ");
-  for (const std::string& l : aql.pool_labels) {
-    std::printf("%s  ", l.c_str());
+  for (const auto& pool : aql.pools) {
+    std::printf("%s  ", pool.label.c_str());
   }
   std::printf("\nplan applications during the run: %llu\n",
               static_cast<unsigned long long>(aql.plan_applications));

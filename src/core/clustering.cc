@@ -127,7 +127,9 @@ std::vector<PoolSpec> SecondLevelClustering(const std::vector<VcpuClass>& socket
     }
     AQL_CHECK_MSG(placed, "type quantum missing from calibrated set");
   }
-  std::erase_if(clusters, [](const Cluster& c) { return c.vcpus.empty(); });
+  clusters.erase(std::remove_if(clusters.begin(), clusters.end(),
+                                [](const Cluster& c) { return c.vcpus.empty(); }),
+                 clusters.end());
 
   // Line 10: use the agnostic vCPUs to round cluster sizes up to multiples
   // of k; distribute any remaining ballast in chunks of k, largest cluster

@@ -1,0 +1,154 @@
+#include "src/experiment/json_out.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  AQL_CHECK(type_ == Type::kObject);
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Push(JsonValue value) {
+  AQL_CHECK(type_ == Type::kArray);
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+size_t JsonValue::size() const {
+  switch (type_) {
+    case Type::kArray:
+      return items_.size();
+    case Type::kObject:
+      return members_.size();
+    default:
+      return 0;
+  }
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[64];
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) {
+      break;
+    }
+  }
+  return buf;
+}
+
+void JsonValue::DumpTo(std::string* out, int depth) const {
+  const std::string pad(2 * (depth + 1), ' ');
+  const std::string close_pad(2 * depth, ' ');
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Type::kUint:
+      *out += std::to_string(uint_);
+      break;
+    case Type::kDouble:
+      *out += JsonNumber(double_);
+      break;
+    case Type::kString:
+      *out += JsonQuote(string_);
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        *out += pad;
+        items_[i].DumpTo(out, depth + 1);
+        *out += i + 1 < items_.size() ? ",\n" : "\n";
+      }
+      *out += close_pad + "]";
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        *out += pad + JsonQuote(members_[i].first) + ": ";
+        members_[i].second.DumpTo(out, depth + 1);
+        *out += i + 1 < members_.size() ? ",\n" : "\n";
+      }
+      *out += close_pad + "}";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out += '\n';
+  return out;
+}
+
+}  // namespace aql

@@ -1,0 +1,47 @@
+#include "src/experiment/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+SweepRegistry& SweepRegistry::Instance() {
+  static SweepRegistry* registry = new SweepRegistry;
+  return *registry;
+}
+
+void SweepRegistry::Register(SweepSpec spec) {
+  AQL_CHECK_MSG(!spec.name.empty(), "sweep name must not be empty");
+  AQL_CHECK_MSG(static_cast<bool>(spec.build), "sweep build hook must be set");
+  AQL_CHECK_MSG(Find(spec.name) == nullptr,
+                ("duplicate sweep name: " + spec.name).c_str());
+  sweeps_.push_back(std::move(spec));
+}
+
+const SweepSpec* SweepRegistry::Find(const std::string& name) const {
+  for (const SweepSpec& s : sweeps_) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const SweepSpec*> SweepRegistry::All() const {
+  std::vector<const SweepSpec*> out;
+  out.reserve(sweeps_.size());
+  for (const SweepSpec& s : sweeps_) {
+    out.push_back(&s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SweepSpec* a, const SweepSpec* b) { return a->name < b->name; });
+  return out;
+}
+
+SweepRegistrar::SweepRegistrar(SweepSpec spec) {
+  SweepRegistry::Instance().Register(std::move(spec));
+}
+
+}  // namespace aql

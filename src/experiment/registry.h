@@ -1,0 +1,55 @@
+// Global registry of named sweeps, following the registry-of-generators
+// idiom: every paper figure/table registers a SweepSpec from a static
+// initializer in its bench translation unit, and aql_bench enumerates and
+// runs them by name.
+
+#ifndef AQLSCHED_SRC_EXPERIMENT_REGISTRY_H_
+#define AQLSCHED_SRC_EXPERIMENT_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/experiment/sweep.h"
+
+namespace aql {
+
+class SweepRegistry {
+ public:
+  // The process-wide registry (function-local static: safe to use from
+  // static initializers in any translation unit).
+  static SweepRegistry& Instance();
+
+  // Registers a sweep; aborts on duplicate or empty names.
+  void Register(SweepSpec spec);
+
+  // Lookup by name; nullptr when absent.
+  const SweepSpec* Find(const std::string& name) const;
+
+  // All registered sweeps, sorted by name.
+  std::vector<const SweepSpec*> All() const;
+
+  size_t size() const { return sweeps_.size(); }
+
+ private:
+  std::vector<SweepSpec> sweeps_;
+};
+
+// Helper for static registration.
+class SweepRegistrar {
+ public:
+  explicit SweepRegistrar(SweepSpec spec);
+};
+
+#define AQL_SWEEP_CONCAT_INNER(a, b) a##b
+#define AQL_SWEEP_CONCAT(a, b) AQL_SWEEP_CONCAT_INNER(a, b)
+
+// Registers the SweepSpec returned by `maker()` at static-init time. Use in
+// bench translation units compiled directly into the consuming binary
+// (archives may drop initializer-only objects).
+#define AQL_REGISTER_SWEEP(maker)                 \
+  static const ::aql::SweepRegistrar AQL_SWEEP_CONCAT(aql_sweep_registrar_, \
+                                                      __COUNTER__)(maker())
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_EXPERIMENT_REGISTRY_H_

@@ -35,7 +35,9 @@ ScenarioResult RunScenario(const ScenarioSpec& spec, const PolicySpec& policy,
   for (const VmSpec& vs : spec.vms) {
     Vm* vm = machine.AddVm("vm" + std::to_string(vm_index++) + "_" + vs.app, vs.weight,
                            vs.cap_percent);
-    auto models = MakeApp(vs.app, vs.vcpus);
+    AppOptions app_options;
+    app_options.fifo_lock = vs.fifo_lock;
+    auto models = MakeApp(vs.app, vs.vcpus, app_options);
     const bool is_io = FindApp(vs.app).expected_type == VcpuType::kIoInt;
     for (auto& model : models) {
       Vcpu* v = machine.AddVcpu(vm, std::move(model));
@@ -105,7 +107,12 @@ ScenarioResult RunScenario(const ScenarioSpec& spec, const PolicySpec& policy,
       result.detected_types[v->id()] = aql_controller->TypeOf(v->id());
     }
     for (const PoolSpec& p : aql_controller->current_plan().pools) {
-      result.pool_labels.push_back(p.label);
+      ScenarioResult::PoolInfo info;
+      info.label = p.label;
+      info.quantum = p.quantum;
+      info.pcpus = p.pcpus;
+      info.vcpus = p.vcpus;
+      result.pools.push_back(std::move(info));
     }
     result.plan_applications = aql_controller->plan_applications();
   }

@@ -31,9 +31,15 @@ struct ScenarioResult {
   uint64_t events_processed = 0;
   double wall_seconds = 0.0;
 
-  // AQL policy only: final detected type per vCPU and final pool labels.
+  // AQL policy only: final detected type per vCPU and the final pool layout.
+  struct PoolInfo {
+    std::string label;
+    TimeNs quantum = 0;
+    std::vector<int> pcpus;
+    std::vector<int> vcpus;
+  };
   std::map<int, VcpuType> detected_types;
-  std::vector<std::string> pool_labels;
+  std::vector<PoolInfo> pools;
   uint64_t plan_applications = 0;
 
   double GroupPrimary(const std::string& group) const;

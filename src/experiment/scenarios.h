@@ -20,6 +20,8 @@ struct VmSpec {
   int vcpus = 1;
   int weight = 256;
   int cap_percent = 0;
+  // ConSpin applications only: use a FIFO ticket lock (ablation 4).
+  bool fifo_lock = false;
 };
 
 struct ScenarioSpec {

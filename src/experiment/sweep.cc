@@ -1,0 +1,319 @@
+#include "src/experiment/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "src/sim/check.h"
+#include "src/sim/rng.h"
+
+namespace aql {
+
+TimeNs SweepOptions::Warmup(TimeNs full) const {
+  if (!quick) {
+    return full;
+  }
+  const TimeNs scaled = full / 10;
+  return scaled < Ms(300) ? Ms(300) : scaled;
+}
+
+TimeNs SweepOptions::Measure(TimeNs full) const {
+  if (!quick) {
+    return full;
+  }
+  const TimeNs scaled = full / 10;
+  return scaled < Ms(500) ? Ms(500) : scaled;
+}
+
+int SweepOptions::Repeats(int full) const { return quick ? 1 : full; }
+
+SweepContext::SweepContext(const SweepOptions& options, std::vector<CellResult> cells)
+    : options_(options), cells_(std::move(cells)) {}
+
+bool SweepContext::HasCell(const std::string& id) const {
+  for (const CellResult& c : cells_) {
+    if (c.cell.id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const CellResult& SweepContext::Cell(const std::string& id) const {
+  for (const CellResult& c : cells_) {
+    if (c.cell.id == id) {
+      return c;
+    }
+  }
+  AQL_CHECK_MSG(false, ("no such cell: " + id).c_str());
+}
+
+const ScenarioResult& SweepContext::Result(const std::string& id) const {
+  return Cell(id).result;
+}
+
+double SweepContext::Primary(const std::string& id, const std::string& group) const {
+  return Result(id).GroupPrimary(group);
+}
+
+void SweepContext::Print(const std::string& t) { text += t; }
+
+void SweepContext::AddTable(const std::string& title, const TextTable& table) {
+  text += title + "\n" + table.ToString() + "\n";
+  tables.emplace_back(title, table);
+}
+
+void SweepContext::Summary(const std::string& key, double value) {
+  summary.emplace_back(key, value);
+}
+
+void SweepContext::Note(const std::string& key, const std::string& value) {
+  notes.emplace_back(key, value);
+}
+
+void SweepContext::Timing(const std::string& key, double value) {
+  timings.emplace_back(key, value);
+}
+
+namespace {
+
+CellResult RunCell(const SweepCell& cell) {
+  CellResult out;
+  out.cell = cell;
+  RunOptions options;
+  if (cell.trace_cursors) {
+    auto* trace = &out.cursor_trace;
+    options.trace = [trace](TimeNs, int vcpu, const CursorSet&, const CursorSet& avg) {
+      if (vcpu == 0) {
+        trace->push_back(avg);
+      }
+    };
+  }
+  out.result = RunScenario(cell.scenario, cell.policy, options);
+  return out;
+}
+
+}  // namespace
+
+SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  std::vector<SweepCell> cells = spec.build(options);
+  AQL_CHECK_MSG(!cells.empty(), "sweep expanded to zero cells");
+  std::set<std::string> ids;
+  for (SweepCell& cell : cells) {
+    AQL_CHECK_MSG(ids.insert(cell.id).second, ("duplicate cell id: " + cell.id).c_str());
+    // Per-cell seeding happens before dispatch so the derived stream is a
+    // function of the declared seed only, never of worker scheduling.
+    cell.scenario.machine.seed =
+        Rng::DeriveSeed(cell.scenario.machine.seed, options.seed_salt);
+  }
+
+  std::vector<CellResult> results(cells.size());
+  const size_t jobs =
+      std::min<size_t>(cells.size(), options.jobs < 1 ? 1 : options.jobs);
+  if (jobs <= 1) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      results[i] = RunCell(cells[i]);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&cells, &results, &next] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= cells.size()) {
+          return;
+        }
+        results[i] = RunCell(cells[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    for (size_t t = 1; t < jobs; ++t) {
+      pool.emplace_back(worker);
+    }
+    worker();
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  SweepContext ctx(options, std::move(results));
+  if (spec.render) {
+    spec.render(ctx);
+  }
+
+  SweepResult out;
+  out.name = spec.name;
+  out.description = spec.description;
+  out.options = options;
+  out.cells = ctx.TakeCells();
+  out.text = std::move(ctx.text);
+  out.tables = std::move(ctx.tables);
+  out.summary = std::move(ctx.summary);
+  out.notes = std::move(ctx.notes);
+  out.timings = std::move(ctx.timings);
+  const auto wall_end = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  return out;
+}
+
+namespace {
+
+JsonValue ScenarioJson(const ScenarioSpec& spec) {
+  JsonValue vms = JsonValue::Array();
+  for (const VmSpec& vm : spec.vms) {
+    JsonValue v = JsonValue::Object();
+    v.Set("app", vm.app).Set("vcpus", vm.vcpus).Set("weight", vm.weight);
+    if (vm.cap_percent > 0) {
+      v.Set("cap_percent", vm.cap_percent);
+    }
+    if (vm.fifo_lock) {
+      v.Set("fifo_lock", true);
+    }
+    vms.Push(std::move(v));
+  }
+  JsonValue s = JsonValue::Object();
+  s.Set("name", spec.name)
+      .Set("seed", spec.machine.seed)
+      .Set("pcpus", spec.machine.topology.TotalPcpus())
+      .Set("warmup_ms", ToMs(spec.warmup))
+      .Set("measure_ms", ToMs(spec.measure))
+      .Set("vms", std::move(vms));
+  return s;
+}
+
+JsonValue GroupJson(const GroupPerf& g) {
+  JsonValue metrics = JsonValue::Object();
+  for (const auto& [k, v] : g.metrics) {
+    metrics.Set(k, v);
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("name", g.name)
+      .Set("vcpus", g.vcpus)
+      .Set("primary", g.primary)
+      .Set("metrics", std::move(metrics));
+  return out;
+}
+
+JsonValue CellJson(const CellResult& cell, bool include_timing) {
+  const ScenarioResult& r = cell.result;
+  JsonValue groups = JsonValue::Array();
+  for (const GroupPerf& g : r.groups) {
+    groups.Push(GroupJson(g));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("id", cell.cell.id)
+      .Set("scenario", ScenarioJson(cell.cell.scenario))
+      .Set("policy", cell.cell.policy.Label())
+      .Set("measure_window_ms", ToMs(r.measure_window))
+      .Set("cpu_utilization", r.cpu_utilization)
+      .Set("controller_overhead_ms", ToMs(r.controller_overhead))
+      .Set("events_processed", r.events_processed)
+      .Set("groups", std::move(groups));
+  if (!r.pools.empty()) {
+    JsonValue pools = JsonValue::Array();
+    for (const ScenarioResult::PoolInfo& p : r.pools) {
+      JsonValue pj = JsonValue::Object();
+      pj.Set("label", p.label)
+          .Set("quantum_ms", ToMs(p.quantum))
+          .Set("pcpus", static_cast<int64_t>(p.pcpus.size()))
+          .Set("vcpus", static_cast<int64_t>(p.vcpus.size()));
+      pools.Push(std::move(pj));
+    }
+    out.Set("pools", std::move(pools));
+  }
+  if (r.plan_applications > 0) {
+    out.Set("plan_applications", r.plan_applications);
+  }
+  if (include_timing) {
+    out.Set("wall_seconds", r.wall_seconds);
+  }
+  return out;
+}
+
+JsonValue TableJson(const std::string& title, const TextTable& table) {
+  JsonValue header = JsonValue::Array();
+  for (const std::string& h : table.header()) {
+    header.Push(h);
+  }
+  JsonValue rows = JsonValue::Array();
+  for (const auto& row : table.row_data()) {
+    JsonValue r = JsonValue::Array();
+    for (const std::string& v : row) {
+      r.Push(v);
+    }
+    rows.Push(std::move(r));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("title", title).Set("header", std::move(header)).Set("rows", std::move(rows));
+  return out;
+}
+
+}  // namespace
+
+JsonValue SweepJson(const SweepResult& result, bool include_timing) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", result.name).Set("description", result.description);
+
+  JsonValue opts = JsonValue::Object();
+  opts.Set("quick", result.options.quick)
+      .Set("seed_salt", result.options.seed_salt);
+  if (include_timing) {
+    // Thread count never affects results; it is timing metadata.
+    opts.Set("jobs", result.options.jobs);
+  }
+  doc.Set("options", std::move(opts));
+
+  JsonValue summary = JsonValue::Object();
+  for (const auto& [k, v] : result.summary) {
+    summary.Set(k, v);
+  }
+  doc.Set("summary", std::move(summary));
+
+  if (!result.notes.empty()) {
+    JsonValue notes = JsonValue::Object();
+    for (const auto& [k, v] : result.notes) {
+      notes.Set(k, v);
+    }
+    doc.Set("notes", std::move(notes));
+  }
+
+  JsonValue tables = JsonValue::Array();
+  for (const auto& [title, table] : result.tables) {
+    tables.Push(TableJson(title, table));
+  }
+  doc.Set("tables", std::move(tables));
+
+  JsonValue cells = JsonValue::Array();
+  for (const CellResult& c : result.cells) {
+    cells.Push(CellJson(c, include_timing));
+  }
+  doc.Set("cells", std::move(cells));
+
+  if (include_timing) {
+    JsonValue timing = JsonValue::Object();
+    timing.Set("total_wall_seconds", result.wall_seconds);
+    for (const auto& [k, v] : result.timings) {
+      timing.Set(k, v);
+    }
+    doc.Set("timing", std::move(timing));
+  }
+  return doc;
+}
+
+std::string WriteSweepJson(const SweepResult& result, const std::string& out_dir,
+                           bool include_timing) {
+  std::filesystem::create_directories(out_dir);
+  const std::string path = out_dir + "/BENCH_" + result.name + ".json";
+  std::ofstream f(path);
+  AQL_CHECK_MSG(f.good(), ("cannot write " + path).c_str());
+  f << SweepJson(result, include_timing).Dump();
+  f.close();
+  AQL_CHECK_MSG(f.good(), ("failed writing " + path).c_str());
+  return path;
+}
+
+}  // namespace aql

@@ -34,7 +34,7 @@ std::string PoolPlan::Validate(int num_pcpus, const std::vector<int>& vcpu_ids) 
            std::to_string(num_pcpus) + " pCPUs";
   }
   for (int id : vcpu_ids) {
-    if (!seen_vcpus.contains(id)) {
+    if (seen_vcpus.count(id) == 0) {
       return "vCPU " + std::to_string(id) + " not covered by plan";
     }
   }

@@ -205,7 +205,7 @@ void CreditScheduler::AccountPeriod(const std::vector<Vcpu*>& vcpus) {
     std::unordered_map<const Vm*, double> vm_budget;
     for (Vcpu* v : pa.active) {
       const Vm* vm = v->vm();
-      if (vm->cap_percent() > 0 && !vm_budget.contains(vm)) {
+      if (vm->cap_percent() > 0 && vm_budget.count(vm) == 0) {
         vm_budget[vm] = static_cast<double>(vm->cap_percent()) / 100.0 *
                         static_cast<double>(params_.accounting_period);
       }

@@ -4,6 +4,12 @@
 
 namespace aql {
 
+double GroupPerf::Metric(const std::string& key) const {
+  auto it = metrics.find(key);
+  AQL_CHECK_MSG(it != metrics.end(), ("no such metric: " + key).c_str());
+  return it->second;
+}
+
 std::vector<GroupPerf> GroupReports(const std::vector<PerfReport>& reports) {
   std::vector<GroupPerf> groups;
   auto find = [&groups](const std::string& name) -> GroupPerf& {

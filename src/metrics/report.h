@@ -21,6 +21,9 @@ struct GroupPerf {
   double primary = 0.0;
   // Mean of every named metric across the group's vCPUs.
   std::map<std::string, double> metrics;
+
+  // Named metric lookup; aborts if the metric is absent.
+  double Metric(const std::string& key) const;
 };
 
 // Groups reports by workload name and averages metrics.

@@ -22,7 +22,7 @@ bool EventQueue::Cancel(EventId id) {
   // We cannot know cheaply whether `id` is still in the heap; track it in the
   // tombstone set and reconcile at pop time. Guard against double-cancel by
   // checking the set first.
-  if (cancelled_.contains(id)) {
+  if (cancelled_.count(id) != 0) {
     return false;
   }
   if (id >= next_id_) {

@@ -81,4 +81,11 @@ Rng Rng::Fork(uint64_t tag) {
   return Rng(a ^ (tag * 0x9e3779b97f4a7c15ULL) ^ 0xa02bdbf7bb3c0a7ULL);
 }
 
+uint64_t Rng::DeriveSeed(uint64_t base, uint64_t tag) {
+  uint64_t x = base ^ Rotl(tag, 29) ^ 0x6c62272e07bb0142ULL;
+  // Two SplitMix64 rounds decorrelate nearby (base, tag) pairs.
+  SplitMix64(x);
+  return SplitMix64(x);
+}
+
 }  // namespace aql

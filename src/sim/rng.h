@@ -42,6 +42,12 @@ class Rng {
   // Derive an independent child stream; deterministic in (this, tag).
   Rng Fork(uint64_t tag);
 
+  // Stateless seed derivation: mixes `base` and `tag` into a well-spread
+  // seed, deterministic in its inputs. Used by the sweep engine to give every
+  // (scenario, policy) cell its own reproducible stream regardless of how
+  // many worker threads execute the sweep.
+  static uint64_t DeriveSeed(uint64_t base, uint64_t tag);
+
  private:
   uint64_t state_[4];
 };

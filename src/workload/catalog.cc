@@ -54,14 +54,17 @@ SpinSyncConfig Spin(const std::string& name, TimeNs compute, TimeNs critical, ui
   return c;
 }
 
+using Factory =
+    std::function<std::vector<std::unique_ptr<WorkloadModel>>(int count,
+                                                              const AppOptions& options)>;
+
 struct Entry {
   AppProfile profile;
-  std::function<std::vector<std::unique_ptr<WorkloadModel>>(int count)> make;
+  Factory make;
 };
 
-std::function<std::vector<std::unique_ptr<WorkloadModel>>(int)> MakeBurnFactory(
-    CpuBurnConfig cfg) {
-  return [cfg](int count) {
+Factory MakeBurnFactory(CpuBurnConfig cfg) {
+  return [cfg](int count, const AppOptions&) {
     std::vector<std::unique_ptr<WorkloadModel>> out;
     for (int i = 0; i < count; ++i) {
       out.push_back(std::make_unique<CpuBurnModel>(cfg));
@@ -70,9 +73,8 @@ std::function<std::vector<std::unique_ptr<WorkloadModel>>(int)> MakeBurnFactory(
   };
 }
 
-std::function<std::vector<std::unique_ptr<WorkloadModel>>(int)> MakeIoFactory(
-    IoServerConfig cfg) {
-  return [cfg](int count) {
+Factory MakeIoFactory(IoServerConfig cfg) {
+  return [cfg](int count, const AppOptions&) {
     std::vector<std::unique_ptr<WorkloadModel>> out;
     for (int i = 0; i < count; ++i) {
       out.push_back(std::make_unique<IoServerModel>(cfg));
@@ -81,10 +83,9 @@ std::function<std::vector<std::unique_ptr<WorkloadModel>>(int)> MakeIoFactory(
   };
 }
 
-std::function<std::vector<std::unique_ptr<WorkloadModel>>(int)> MakeSpinFactory(
-    SpinSyncConfig cfg) {
-  return [cfg](int count) {
-    auto lock = std::make_shared<SpinLock>();
+Factory MakeSpinFactory(SpinSyncConfig cfg) {
+  return [cfg](int count, const AppOptions& options) {
+    auto lock = std::make_shared<SpinLock>(options.fifo_lock);
     std::shared_ptr<SpinBarrier> barrier;
     if (cfg.barrier_every > 0) {
       barrier = std::make_shared<SpinBarrier>(count);
@@ -101,7 +102,7 @@ const std::vector<Entry>& Entries() {
   static const std::vector<Entry>* entries = [] {
     auto* e = new std::vector<Entry>;
     auto add = [e](const std::string& name, VcpuType t, const std::string& suite,
-                   std::function<std::vector<std::unique_ptr<WorkloadModel>>(int)> make) {
+                   Factory make) {
       e->push_back(Entry{AppProfile{name, t, suite}, std::move(make)});
     };
 
@@ -238,9 +239,10 @@ bool HasApp(const std::string& name) {
   return false;
 }
 
-std::vector<std::unique_ptr<WorkloadModel>> MakeApp(const std::string& name, int count) {
+std::vector<std::unique_ptr<WorkloadModel>> MakeApp(const std::string& name, int count,
+                                                    const AppOptions& options) {
   AQL_CHECK(count >= 1);
-  return FindEntry(name).make(count);
+  return FindEntry(name).make(count, options);
 }
 
 std::unique_ptr<WorkloadModel> MakeSingleApp(const std::string& name) {

@@ -34,10 +34,18 @@ const std::vector<AppProfile>& Catalog();
 const AppProfile& FindApp(const std::string& name);
 bool HasApp(const std::string& name);
 
+// Per-instantiation knobs (mechanism ablations).
+struct AppOptions {
+  // ConSpin applications only: FIFO ticket handoff instead of the default
+  // unfair test-and-set spin lock.
+  bool fifo_lock = false;
+};
+
 // Instantiates `count` vCPU workload models for `name`. For ConSpin
 // applications the models share one spin lock (threads of one VM); for all
 // other types the models are independent replicas.
-std::vector<std::unique_ptr<WorkloadModel>> MakeApp(const std::string& name, int count = 1);
+std::vector<std::unique_ptr<WorkloadModel>> MakeApp(const std::string& name, int count = 1,
+                                                    const AppOptions& options = {});
 
 // Convenience: single-vCPU instantiation.
 std::unique_ptr<WorkloadModel> MakeSingleApp(const std::string& name);

@@ -78,9 +78,9 @@ TEST(IntegrationTest, AqlFormsTwoPoolsOnS5) {
   ScenarioResult r = RunScenario(spec, PolicySpec::Aql());
   // Table 5 / S5: a 1ms cluster (IOInt + ConSpin + ballast) and a 90ms
   // cluster (LLCF + ballast).
-  ASSERT_EQ(r.pool_labels.size(), 2u);
-  EXPECT_NE(r.pool_labels[0].find("1ms"), std::string::npos);
-  EXPECT_NE(r.pool_labels[1].find("90ms"), std::string::npos);
+  ASSERT_EQ(r.pools.size(), 2u);
+  EXPECT_NE(r.pools[0].label.find("1ms"), std::string::npos);
+  EXPECT_NE(r.pools[1].label.find("90ms"), std::string::npos);
 }
 
 TEST(IntegrationTest, AqlBeatsXenOnS5Io) {
@@ -132,7 +132,7 @@ TEST(IntegrationTest, FourSocketPlanIsBalanced) {
   ScenarioSpec spec = FourSocketScenario();
   spec.measure = Sec(4);
   ScenarioResult r = RunScenario(spec, PolicySpec::Aql());
-  EXPECT_GE(r.pool_labels.size(), 3u);  // at least one pool per socket
+  EXPECT_GE(r.pools.size(), 3u);  // at least one pool per socket
   EXPECT_NEAR(r.cpu_utilization, 1.0, 0.05);
 }
 

@@ -1,0 +1,155 @@
+// Tests for the sweep engine: thread-count invariance of results (per-cell
+// RNG seeding), the sweep registry, JSON emission, and quick-mode scaling.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/experiment/json_out.h"
+#include "src/experiment/registry.h"
+#include "src/experiment/sweep.h"
+#include "src/sim/rng.h"
+
+namespace aql {
+namespace {
+
+SweepSpec TinySpec() {
+  SweepSpec spec;
+  spec.name = "tiny";
+  spec.description = "engine test sweep";
+  spec.build = [](const SweepOptions&) {
+    std::vector<SweepCell> cells;
+    for (int s = 1; s <= 2; ++s) {
+      for (const char* pol : {"xen", "aql"}) {
+        SweepCell cell;
+        cell.id = "S" + std::to_string(s) + "/" + pol;
+        cell.scenario = ColocationScenario(s);
+        cell.scenario.warmup = Ms(300);
+        cell.scenario.measure = Ms(400);
+        cell.policy =
+            std::string(pol) == "aql" ? PolicySpec::Aql() : PolicySpec::Xen();
+        cell.trace_cursors = true;
+        cells.push_back(std::move(cell));
+      }
+    }
+    return cells;
+  };
+  spec.render = [](SweepContext& ctx) {
+    ctx.Summary("cells", static_cast<double>(ctx.cells().size()));
+  };
+  return spec;
+}
+
+TEST(SweepEngineTest, ThreadCountDoesNotAffectResults) {
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 4;
+
+  const SweepResult r1 = RunSweep(TinySpec(), serial);
+  const SweepResult r4 = RunSweep(TinySpec(), parallel);
+
+  ASSERT_EQ(r1.cells.size(), r4.cells.size());
+  for (size_t i = 0; i < r1.cells.size(); ++i) {
+    const CellResult& a = r1.cells[i];
+    const CellResult& b = r4.cells[i];
+    EXPECT_EQ(a.cell.id, b.cell.id);
+    EXPECT_EQ(a.result.events_processed, b.result.events_processed) << a.cell.id;
+    // Metric values must match cell-for-cell, bit for bit.
+    ASSERT_EQ(a.result.reports.size(), b.result.reports.size()) << a.cell.id;
+    for (size_t r = 0; r < a.result.reports.size(); ++r) {
+      EXPECT_EQ(a.result.reports[r].metrics, b.result.reports[r].metrics)
+          << a.cell.id << " vCPU " << r;
+    }
+    EXPECT_EQ(a.result.cpu_utilization, b.result.cpu_utilization) << a.cell.id;
+    EXPECT_EQ(a.result.detected_types, b.result.detected_types) << a.cell.id;
+    ASSERT_EQ(a.cursor_trace.size(), b.cursor_trace.size()) << a.cell.id;
+    for (size_t t = 0; t < a.cursor_trace.size(); ++t) {
+      EXPECT_EQ(a.cursor_trace[t].io, b.cursor_trace[t].io);
+      EXPECT_EQ(a.cursor_trace[t].llcf, b.cursor_trace[t].llcf);
+    }
+  }
+
+  // The deterministic JSON projection is byte-identical.
+  EXPECT_EQ(SweepJson(r1, /*include_timing=*/false).Dump(),
+            SweepJson(r4, /*include_timing=*/false).Dump());
+}
+
+TEST(SweepEngineTest, SeedSaltChangesStreams) {
+  SweepOptions a;
+  SweepOptions b;
+  b.seed_salt = a.seed_salt + 1;
+  const SweepResult ra = RunSweep(TinySpec(), a);
+  const SweepResult rb = RunSweep(TinySpec(), b);
+  EXPECT_TRUE(ra.cells[0].result.events_processed != rb.cells[0].result.events_processed ||
+              ra.cells[0].result.cpu_utilization != rb.cells[0].result.cpu_utilization);
+}
+
+TEST(SweepEngineTest, RegisteredSweepsCoverTheFigures) {
+  const SweepRegistry& registry = SweepRegistry::Instance();
+  EXPECT_GE(registry.size(), 10u);
+  for (const char* name :
+       {"fig2_calibration", "fig4_vtrs_traces", "fig5_validation", "fig6_effectiveness",
+        "fig7_customization", "fig8_comparison", "table3_recognition", "table5_clusters",
+        "ablation", "overhead"}) {
+    EXPECT_NE(registry.Find(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.Find("nonexistent"), nullptr);
+}
+
+TEST(SweepEngineTest, RegisteredSweepQuickRunIsThreadCountInvariant) {
+  const SweepSpec* spec = SweepRegistry::Instance().Find("table5_clusters");
+  ASSERT_NE(spec, nullptr);
+  SweepOptions serial;
+  serial.quick = true;
+  serial.jobs = 1;
+  SweepOptions parallel = serial;
+  parallel.jobs = 4;
+  const SweepResult r1 = RunSweep(*spec, serial);
+  const SweepResult r4 = RunSweep(*spec, parallel);
+  EXPECT_EQ(SweepJson(r1, /*include_timing=*/false).Dump(),
+            SweepJson(r4, /*include_timing=*/false).Dump());
+}
+
+TEST(SweepOptionsTest, QuickModeScalesWindows) {
+  SweepOptions full;
+  EXPECT_EQ(full.Measure(Sec(10)), Sec(10));
+  EXPECT_EQ(full.Warmup(Sec(2)), Sec(2));
+  EXPECT_EQ(full.Repeats(3), 3);
+
+  SweepOptions quick;
+  quick.quick = true;
+  EXPECT_EQ(quick.Measure(Sec(10)), Sec(1));
+  EXPECT_EQ(quick.Measure(Sec(1)), Ms(500));  // floor
+  EXPECT_EQ(quick.Warmup(Sec(2)), Ms(300));   // floor
+  EXPECT_EQ(quick.Repeats(3), 1);
+}
+
+TEST(RngTest, DeriveSeedIsStableAndSpread) {
+  EXPECT_EQ(Rng::DeriveSeed(42, 7), Rng::DeriveSeed(42, 7));
+  EXPECT_NE(Rng::DeriveSeed(42, 7), Rng::DeriveSeed(42, 8));
+  EXPECT_NE(Rng::DeriveSeed(42, 7), Rng::DeriveSeed(43, 7));
+}
+
+TEST(JsonOutTest, ObjectsKeepInsertionOrderAndEscape) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("zeta", 1).Set("alpha", "a\"b\nc").Set("flag", true);
+  JsonValue arr = JsonValue::Array();
+  arr.Push(1.5).Push(JsonValue());
+  doc.Set("list", std::move(arr));
+  const std::string text = doc.Dump();
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+  EXPECT_NE(text.find("\"a\\\"b\\nc\""), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  EXPECT_NE(text.find("null"), std::string::npos);
+}
+
+TEST(JsonOutTest, NumbersRoundTrip) {
+  EXPECT_EQ(JsonNumber(0.1), "0.1");
+  EXPECT_EQ(JsonNumber(1.0 / 3.0), "0.3333333333333333");
+  EXPECT_EQ(JsonNumber(2.0), "2");
+}
+
+}  // namespace
+}  // namespace aql
