@@ -1,0 +1,130 @@
+// Table 3x sweep: vTRS type recognition over the extended 8-type catalog,
+// plus scheduler effectiveness on the extended profiles.
+//
+// Every application of the extended catalog runs in its validation rig under
+// AQL_Sched: paper applications in the unmodified Table 3 rig (so the paper
+// baseline is reproduced inside this sweep), extended ones in the
+// memory-bus/NUMA rigs (src/experiment/scenarios.cc). The first table
+// prints detected vs expected types with all eight window-averaged cursors;
+// a second table compares each extended application's performance under
+// AQL_Sched against native Xen (30 ms) on the same rig.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/cursors.h"
+#include "src/experiment/registry.h"
+#include "src/metrics/table.h"
+#include "src/workload/catalog.h"
+
+namespace aql {
+namespace {
+
+std::vector<SweepCell> Build(const SweepOptions& opts) {
+  std::vector<SweepCell> cells;
+  for (const AppProfile& app : ExtendedCatalog()) {
+    SweepCell cell;
+    cell.id = "rec/" + app.name;
+    cell.scenario = ExtendedValidationRig(app.name);
+    cell.scenario.warmup = opts.Warmup(Sec(1));
+    cell.scenario.measure = opts.Measure(Sec(5));
+    cell.policy = PolicySpec::Aql();
+    cell.trace_cursors = true;
+    cells.push_back(std::move(cell));
+    if (app.extended) {
+      // Xen baseline on the identical rig for the effectiveness table.
+      SweepCell base;
+      base.id = "base/" + app.name;
+      base.scenario = cells.back().scenario;
+      base.policy = PolicySpec::Xen();
+      cells.push_back(std::move(base));
+    }
+  }
+  return cells;
+}
+
+void Render(SweepContext& ctx) {
+  TextTable table({"application", "suite", "expected", "detected", "IO", "ConSpin",
+                   "LoLCF", "LLCF", "LLCO", "MemBw", "Remote", "Bursty", "ok"});
+  std::map<VcpuType, int> correct_by_type;
+  std::map<VcpuType, int> total_by_type;
+  int correct = 0;
+  int paper_correct = 0;
+  int paper_total = 0;
+  int total = 0;
+  for (const AppProfile& app : ExtendedCatalog()) {
+    const CellResult& cell = ctx.Cell("rec/" + app.name);
+    const VcpuType detected = cell.result.detected_types.at(0);
+    const CursorSet avg =
+        cell.cursor_trace.empty() ? CursorSet{} : cell.cursor_trace.back();
+    const bool ok = detected == app.expected_type;
+    correct += ok ? 1 : 0;
+    ++total;
+    if (!app.extended) {
+      paper_correct += ok ? 1 : 0;
+      ++paper_total;
+    }
+    correct_by_type[app.expected_type] += ok ? 1 : 0;
+    total_by_type[app.expected_type] += 1;
+    table.AddRow({app.name, app.suite, VcpuTypeName(app.expected_type),
+                  VcpuTypeName(detected), TextTable::Num(avg.io, 0),
+                  TextTable::Num(avg.conspin, 0), TextTable::Num(avg.lolcf, 0),
+                  TextTable::Num(avg.llcf, 0), TextTable::Num(avg.llco, 0),
+                  TextTable::Num(avg.membw, 0), TextTable::Num(avg.remote, 0),
+                  TextTable::Num(avg.bursty, 0), ok ? "yes" : "NO"});
+  }
+  ctx.AddTable("Table 3x: online vTRS recognition over the extended 8-type catalog",
+               table);
+
+  TextTable per_type({"type", "correct", "total"});
+  for (const auto& [type, n] : total_by_type) {
+    per_type.AddRow({VcpuTypeName(type), TextTable::Num(correct_by_type[type], 0),
+                     TextTable::Num(n, 0)});
+    ctx.Summary(std::string("recognized_") + VcpuTypeName(type), correct_by_type[type]);
+    ctx.Summary(std::string("apps_") + VcpuTypeName(type), n);
+  }
+  ctx.AddTable("Per-type recognition accuracy", per_type);
+  ctx.Print("recognition accuracy: " + std::to_string(correct) + "/" +
+            std::to_string(total) + " (paper types: " + std::to_string(paper_correct) +
+            "/" + std::to_string(paper_total) + ")\n");
+  ctx.Summary("apps", total);
+  ctx.Summary("recognized_correctly", correct);
+  ctx.Summary("paper_apps", paper_total);
+  ctx.Summary("paper_recognized_correctly", paper_correct);
+
+  // Scheduler effectiveness on the extended profiles: AQL vs native Xen on
+  // the same rig, normalized performance (smaller-is-better cost ratio).
+  TextTable perf({"application", "type", "Xen(30ms)", "AQL_Sched", "normalized"});
+  for (const AppProfile& app : ExtendedCatalog()) {
+    if (!app.extended) {
+      continue;
+    }
+    const double xen = ctx.Primary("base/" + app.name, app.name);
+    const double aql = ctx.Primary("rec/" + app.name, app.name);
+    const double ratio = xen > 0 ? aql / xen : 0.0;
+    perf.AddRow({app.name, VcpuTypeName(app.expected_type), TextTable::Num(xen, 3),
+                 TextTable::Num(aql, 3), TextTable::Num(ratio, 3)});
+    ctx.Summary("normalized_" + app.name, ratio);
+  }
+  ctx.AddTable(
+      "Extended-catalog effectiveness: AQL_Sched vs Xen(30ms), primary cost "
+      "(normalized < 1 means AQL helps)",
+      perf);
+}
+
+SweepSpec Spec() {
+  SweepSpec spec;
+  spec.name = "table3x_recognition";
+  spec.description =
+      "Table 3x: vTRS recognition + scheduler effectiveness on the extended "
+      "8-type catalog";
+  spec.build = Build;
+  spec.render = Render;
+  return spec;
+}
+
+AQL_REGISTER_SWEEP(Spec);
+
+}  // namespace
+}  // namespace aql

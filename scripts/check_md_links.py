@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Markdown link checker for docs/ and README.
+
+Verifies that relative links and anchors in the repo's markdown files point
+at files that exist. External (http/https/mailto) links are only syntax-
+checked, so the check stays hermetic and CI-stable. Exit code 1 on any
+broken link; intended as a non-blocking CI step.
+
+Usage: scripts/check_md_links.py [file-or-dir ...]   (default: README.md docs/)
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(args):
+    paths = args or ["README.md", "docs"]
+    out = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                out.extend(os.path.join(root, f) for f in files if f.endswith(".md"))
+        elif os.path.isfile(path):
+            out.append(path)
+        else:
+            # A vanished path must fail loudly, or the check passes vacuously.
+            raise SystemExit(f"check_md_links: no such file or directory: {path}")
+    return sorted(set(out))
+
+
+def strip_code(text):
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = strip_code(f.read())
+    base = os.path.dirname(path)
+    for match in LINK_RE.finditer(text):
+        target = match.group("target")
+        if target.startswith(EXTERNAL):
+            continue  # external: syntax-matched only, not fetched
+        if target.startswith("#"):
+            continue  # intra-document anchor; heading slugs are not modeled
+        local = target.split("#", 1)[0]
+        resolved = os.path.normpath(os.path.join(base, local))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link '{target}' -> {resolved}")
+    return errors
+
+
+def main():
+    files = markdown_files(sys.argv[1:])
+    if not files:
+        print("check_md_links: no markdown files found", file=sys.stderr)
+        return 1
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"check_md_links: {len(files)} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,16 @@ CalibrationTable PaperCalibration() {
   t.best_quantum[static_cast<int>(VcpuType::kLlco)] = Ms(30);
   t.agnostic[static_cast<int>(VcpuType::kLoLcf)] = true;
   t.agnostic[static_cast<int>(VcpuType::kLlco)] = true;
+  // Extended types. Streaming (MemBw) and remote-bound (NumaRemote) vCPUs
+  // have no quantum-sensitive cache reuse — like LLCO they serve as cluster
+  // ballast. Bursty I/O wants the short quantum during its on-phases, same
+  // as IOInt, so it joins the 1 ms cluster and the calibrated quantum set
+  // {1 ms, 90 ms} is unchanged.
+  t.best_quantum[static_cast<int>(VcpuType::kMemBw)] = Ms(30);
+  t.best_quantum[static_cast<int>(VcpuType::kNumaRemote)] = Ms(30);
+  t.best_quantum[static_cast<int>(VcpuType::kBurstyIo)] = Ms(1);
+  t.agnostic[static_cast<int>(VcpuType::kMemBw)] = true;
+  t.agnostic[static_cast<int>(VcpuType::kNumaRemote)] = true;
   t.default_quantum = Ms(30);
   return t;
 }

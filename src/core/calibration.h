@@ -4,7 +4,9 @@
 // per application type: 1 ms for IOInt and ConSpin, 90 ms for LLCF; LoLCF
 // and LLCO are quantum-length agnostic (they serve as cluster ballast).
 // bench/fig2_calibration regenerates the underlying experiment; this header
-// carries its outcome into the scheduler.
+// carries its outcome into the scheduler. The extended types (MemBw,
+// NumaRemote, BurstyIo) are slotted into the same table: the two memory
+// streamers are agnostic ballast, bursty I/O shares IOInt's 1 ms quantum.
 
 #ifndef AQLSCHED_SRC_CORE_CALIBRATION_H_
 #define AQLSCHED_SRC_CORE_CALIBRATION_H_

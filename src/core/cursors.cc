@@ -18,6 +18,12 @@ double CursorSet::Of(VcpuType t) const {
       return llcf;
     case VcpuType::kLlco:
       return llco;
+    case VcpuType::kMemBw:
+      return membw;
+    case VcpuType::kNumaRemote:
+      return remote;
+    case VcpuType::kBurstyIo:
+      return bursty;
   }
   return 0;
 }
@@ -34,6 +40,14 @@ Levels LevelsFromPmuDelta(const PmuCounters& delta) {
     l.llc_mr_pct = static_cast<double>(delta.llc_misses) /
                    static_cast<double>(delta.llc_references) * 100.0;
   }
+  if (delta.instructions > 0) {
+    l.mpki = static_cast<double>(delta.llc_misses) /
+             static_cast<double>(delta.instructions) * 1000.0;
+  }
+  if (delta.llc_misses > 0) {
+    l.remote_ratio = static_cast<double>(delta.remote_accesses) /
+                     static_cast<double>(delta.llc_misses);
+  }
   return l;
 }
 
@@ -42,6 +56,8 @@ CursorSet ComputeCursors(const Levels& levels, const VtrsConfig& config) {
   AQL_CHECK(config.conspin_limit > 0);
   AQL_CHECK(config.llc_rr_limit > 0);
   AQL_CHECK(config.llc_mr_limit > 0);
+  AQL_CHECK(config.membw_mpki_limit > 0);
+  AQL_CHECK(config.remote_ratio_limit > 0);
   CursorSet c;
 
   // Equation (1) for IOInt and ConSpin.
@@ -63,8 +79,27 @@ CursorSet ComputeCursors(const Levels& levels, const VtrsConfig& config) {
                                                100.0 / config.llc_mr_limit)
                : 0.0;
 
-  // Equation (5): the CPU-burn cursors sum to 100 (equation 2).
-  c.llco = 100.0 - c.lolcf - c.llcf;
+  // Equation (5): the CPU-burn cursors sum to 100 (equation 2). The extended
+  // memory cursors are carved out of the overflow mass — NUMA-remote first
+  // (where the misses go), then bandwidth saturation (how hard they stream) —
+  // so the burn family {lolcf, llcf, llco, membw, remote} still sums to 100.
+  // Below its limit a carve scale stays under 50, so a pure trasher
+  // (overflow 100) flips from LLCO to the carved type exactly when the
+  // driving level crosses the configured limit — "above the limit" is the
+  // classification semantics, not just the saturation point.
+  auto carve_scale = [](double level, double limit) {
+    return level < limit ? level / limit * 50.0 : 100.0;
+  };
+  const double overflow = 100.0 - c.lolcf - c.llcf;
+  c.remote = std::min(overflow,
+                      carve_scale(levels.remote_ratio, config.remote_ratio_limit));
+  c.membw = std::min(overflow - c.remote,
+                     carve_scale(levels.mpki, config.membw_mpki_limit));
+  c.llco = overflow - c.remote - c.membw;
+
+  // The bursty-I/O cursor is a window-level dispersion measure; a single
+  // period carries no burstiness information (see Vtrs::Average).
+  c.bursty = 0.0;
 
   return c;
 }
@@ -83,7 +118,8 @@ VcpuType Classify(const CursorSet& avg) {
 }
 
 bool IsTrashing(const CursorSet& avg) {
-  return avg.llco >= avg.llcf && avg.llco >= avg.lolcf;
+  const double disturber = avg.llco + avg.membw;
+  return disturber >= avg.llcf && disturber >= avg.lolcf;
 }
 
 }  // namespace aql

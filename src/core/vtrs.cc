@@ -28,12 +28,18 @@ CursorSet Vtrs::Average(int vcpu) const {
   if (ws == nullptr || ws->window.empty()) {
     return avg;
   }
+  double io_min = 100.0;
+  double io_max = 0.0;
   for (const CursorSet& c : ws->window) {
     avg.io += c.io;
     avg.conspin += c.conspin;
     avg.lolcf += c.lolcf;
     avg.llcf += c.llcf;
     avg.llco += c.llco;
+    avg.membw += c.membw;
+    avg.remote += c.remote;
+    io_min = c.io < io_min ? c.io : io_min;
+    io_max = c.io > io_max ? c.io : io_max;
   }
   const double n = static_cast<double>(ws->window.size());
   avg.io /= n;
@@ -41,6 +47,16 @@ CursorSet Vtrs::Average(int vcpu) const {
   avg.lolcf /= n;
   avg.llcf /= n;
   avg.llco /= n;
+  avg.membw /= n;
+  avg.remote /= n;
+  // Bursty-I/O is a dispersion measure over the window: a diurnal on/off
+  // I/O phase pattern alternates saturated and zero I/O cursors, while a
+  // steady server pins the cursor. Below the noise gate (ramp-up, a single
+  // slow period) the cursor stays 0.
+  if (ws->window.size() >= 2) {
+    const double spread = io_max - io_min;
+    avg.bursty = spread >= config_.bursty_spread_limit ? spread : 0.0;
+  }
   return avg;
 }
 

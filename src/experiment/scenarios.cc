@@ -75,6 +75,18 @@ MachineConfig MultiSocketMachine(uint64_t seed) {
   return mc;
 }
 
+MachineConfig DualSocketNumaMachine(uint64_t seed) {
+  MachineConfig mc;
+  mc.topology = MakeE54603Topology();
+  mc.topology.sockets = 2;
+  // Sustainable per-socket DRAM bandwidth. Calibrated against the miss
+  // penalty (64 B per 80 ns ≈ 0.8 B/ns asymptotic single-core demand): one
+  // streamer fits, two or more co-running streamers saturate the bus.
+  mc.hw.mem_bw_bytes_per_ns = 1.2;
+  mc.seed = seed;
+  return mc;
+}
+
 namespace {
 
 // Disturber mix for the calibration/validation rigs ("various workload
@@ -122,6 +134,30 @@ ScenarioSpec CalibrationRig(const std::string& app, int vcpus_per_pcpu, uint64_t
 ScenarioSpec ValidationRig(const std::string& app, uint64_t seed) {
   ScenarioSpec spec = CalibrationRig(app, 4, seed);
   spec.name = "validation/" + app;
+  return spec;
+}
+
+ScenarioSpec ExtendedValidationRig(const std::string& app, uint64_t seed) {
+  const AppProfile& profile = FindApp(app);
+  if (!profile.extended) {
+    return ValidationRig(app, seed);
+  }
+  ScenarioSpec spec;
+  if (profile.expected_type == VcpuType::kNumaRemote) {
+    spec.machine = DualSocketNumaMachine(seed);
+  } else {
+    spec.machine = SingleSocketMachine(4, seed);
+    spec.machine.hw.mem_bw_bytes_per_ns = 1.2;
+  }
+  spec.name = "xval/" + app;
+  const int pcpus = spec.machine.topology.TotalPcpus();
+  const int baseline = BaselineVcpus(app);
+  const int total = pcpus * 4;
+  AQL_CHECK(baseline <= total);
+  spec.vms.push_back(VmSpec{app, baseline});
+  for (int i = 0; i < total - baseline; ++i) {
+    spec.vms.push_back(VmSpec{DisturberApp(i), 1});
+  }
   return spec;
 }
 

@@ -64,6 +64,10 @@ MachineConfig SingleSocketMachine(int pcpus = 4, uint64_t seed = 42);
 // leaving 3 usable sockets x 4 pCPUs.
 MachineConfig MultiSocketMachine(uint64_t seed = 42);
 
+// Two E5-4603 sockets (8 pCPUs) with the NUMA distance and memory-bus
+// contention terms active — the rig for the extended memory profiles.
+MachineConfig DualSocketNumaMachine(uint64_t seed = 42);
+
 // §3.4.1 calibration rig: a baseline VM running `app` colocated with
 // disturber VMs so that every pCPU runs `vcpus_per_pcpu` vCPUs. ConSpin
 // applications get 4 baseline vCPUs (kernbench -j4), others one.
@@ -71,6 +75,13 @@ ScenarioSpec CalibrationRig(const std::string& app, int vcpus_per_pcpu, uint64_t
 
 // Fig. 5 / Table 3 validation rig: `app` colocated at 4 vCPUs per pCPU.
 ScenarioSpec ValidationRig(const std::string& app, uint64_t seed = 42);
+
+// Validation rig for the 8-type extended catalog (table3x). Paper
+// applications get the unmodified ValidationRig, so their cells reproduce
+// table3 exactly. Extended applications run with the memory-bus contention
+// term enabled; NUMA-remote ones additionally need a second socket, so they
+// run on the dual-socket NUMA machine (still 4 vCPUs per pCPU).
+ScenarioSpec ExtendedValidationRig(const std::string& app, uint64_t seed = 42);
 
 // Table 4 colocation scenarios S1..S5 (index 1-based).
 ScenarioSpec ColocationScenario(int index, uint64_t seed = 42);

@@ -12,6 +12,10 @@ Machine::Machine(Simulation& sim, const MachineConfig& config)
     : sim_(sim),
       config_(config),
       llc_(config.topology.sockets, config.topology.llc_bytes, config.hw),
+      mem_bus_(config.topology.sockets, config.hw.mem_bw_bytes_per_ns),
+      remote_miss_extra_(config.topology.sockets > 1
+                             ? config.topology.RemoteMissExtra(config.hw.llc_miss_penalty)
+                             : 0),
       sched_(config.topology.TotalPcpus(), config.credit),
       workload_rng_(config.seed ^ 0x5bd1e995u),
       pcpus_(static_cast<size_t>(config.topology.TotalPcpus())) {}
@@ -194,7 +198,9 @@ void Machine::BeginStep(int pcpu) {
   s.step_start = now;
   s.step_refs = 0;
   s.step_misses = 0;
+  s.step_remote = 0;
   s.step_work = 0;
+  mem_bus_.SetDemand(config_.topology.SocketOf(pcpu), pcpu, 0.0);
 
   switch (s.step.kind) {
     case Step::Kind::kCompute: {
@@ -206,11 +212,31 @@ void Machine::BeginStep(int pcpu) {
       const uint64_t refs = static_cast<uint64_t>(refs_d);
       const uint64_t misses =
           mem.wss_bytes == 0 ? 0 : static_cast<uint64_t>(refs_d * miss_ratio);
-      const TimeNs stall =
-          static_cast<TimeNs>(misses) * config_.hw.llc_miss_penalty;
+      // NUMA: misses against remotely-pinned memory pay the distance penalty
+      // on top of the local DRAM access.
+      const uint64_t remote =
+          config_.topology.sockets > 1
+              ? static_cast<uint64_t>(
+                    static_cast<double>(misses) *
+                    std::clamp(mem.remote_fraction, 0.0, 1.0))
+              : 0;
+      TimeNs stall = static_cast<TimeNs>(misses) * config_.hw.llc_miss_penalty +
+                     static_cast<TimeNs>(remote) * remote_miss_extra_;
+      // Memory-bus contention: when the socket's co-running fetch demand
+      // exceeds the controller bandwidth, memory stalls stretch. The factor
+      // is sampled once at step start (steps are at most one quantum long).
+      const double demand =
+          stall > 0 ? static_cast<double>(misses) *
+                          static_cast<double>(config_.hw.cache_line_bytes) /
+                          static_cast<double>(work + stall)
+                    : 0.0;
+      const double factor = mem_bus_.StallFactor(socket, demand);
+      stall = static_cast<TimeNs>(static_cast<double>(stall) * factor);
+      mem_bus_.SetDemand(socket, pcpu, demand);
       s.step_work = work;
       s.step_refs = refs;
       s.step_misses = misses;
+      s.step_remote = remote;
       s.step_planned = work + stall + s.pending_overhead;
       s.pending_overhead = 0;
       const TimeNs end = std::min(now + s.step_planned, s.quantum_end);
@@ -283,10 +309,13 @@ void Machine::EndStep(int pcpu, bool completed) {
           static_cast<uint64_t>(static_cast<double>(s.step_refs) * frac);
       const uint64_t misses =
           static_cast<uint64_t>(static_cast<double>(s.step_misses) * frac);
+      const uint64_t remote =
+          static_cast<uint64_t>(static_cast<double>(s.step_remote) * frac);
       v->pmu.instructions += static_cast<uint64_t>(
           static_cast<double>(work_done) * s.step.mem.instructions_per_ns);
       v->pmu.llc_references += refs;
       v->pmu.llc_misses += misses;
+      v->pmu.remote_accesses += remote;
       if (misses > 0) {
         llc_.CommitAccesses(config_.topology.SocketOf(pcpu), v->id(), s.step.mem.wss_bytes,
                             misses);
@@ -308,6 +337,8 @@ void Machine::EndStep(int pcpu, bool completed) {
     case Step::Kind::kFinished:
       AQL_CHECK_MSG(false, "EndStep on non-executing step");
   }
+  // The step no longer occupies the memory bus (the pCPU may go idle next).
+  mem_bus_.SetDemand(config_.topology.SocketOf(pcpu), pcpu, 0.0);
 }
 
 void Machine::TruncateStep(int pcpu) {

@@ -100,6 +100,7 @@ class Machine : public WorkloadHost {
   CreditScheduler& scheduler() { return sched_; }
   const CreditScheduler& scheduler() const { return sched_; }
   LlcModel& llc() { return llc_; }
+  const MemBus& mem_bus() const { return mem_bus_; }
   EventChannel& event_channel() { return channel_; }
 
   const std::vector<Vcpu*>& vcpus() const { return vcpus_; }
@@ -133,6 +134,7 @@ class Machine : public WorkloadHost {
     TimeNs step_work = 0;     // pure-work portion of the plan
     uint64_t step_refs = 0;
     uint64_t step_misses = 0;
+    uint64_t step_remote = 0;  // misses served by a remote NUMA node
     TimeNs pending_overhead = 0;  // context-switch cost charged to next step
     EventId segment_event = kInvalidEventId;
     // Accounting.
@@ -173,6 +175,8 @@ class Machine : public WorkloadHost {
   Simulation& sim_;
   MachineConfig config_;
   LlcModel llc_;
+  MemBus mem_bus_;
+  TimeNs remote_miss_extra_;  // per-remote-access stall from the NUMA model
   CreditScheduler sched_;
   EventChannel channel_;
   Rng workload_rng_;

@@ -151,4 +151,37 @@ uint64_t LlcModel::TotalOccupancy(int socket) const {
   return sockets_[static_cast<size_t>(socket)].total;
 }
 
+MemBus::MemBus(int sockets, double bw_bytes_per_ns)
+    : bw_(bw_bytes_per_ns),
+      demand_(static_cast<size_t>(sockets)),
+      total_(static_cast<size_t>(sockets), 0.0) {
+  AQL_CHECK(sockets >= 1);
+  AQL_CHECK(bw_bytes_per_ns >= 0.0);
+}
+
+void MemBus::SetDemand(int socket, int pcpu, double bytes_per_ns) {
+  AQL_CHECK(socket >= 0 && socket < static_cast<int>(demand_.size()));
+  AQL_CHECK(bytes_per_ns >= 0.0);
+  auto& per_pcpu = demand_[static_cast<size_t>(socket)];
+  double& slot = per_pcpu[pcpu];
+  total_[static_cast<size_t>(socket)] += bytes_per_ns - slot;
+  slot = bytes_per_ns;
+  if (bytes_per_ns == 0.0) {
+    per_pcpu.erase(pcpu);
+  }
+}
+
+double MemBus::TotalDemand(int socket) const {
+  AQL_CHECK(socket >= 0 && socket < static_cast<int>(total_.size()));
+  return total_[static_cast<size_t>(socket)];
+}
+
+double MemBus::StallFactor(int socket, double extra_demand) const {
+  if (bw_ <= 0.0) {
+    return 1.0;
+  }
+  const double demand = TotalDemand(socket) + extra_demand;
+  return demand > bw_ ? demand / bw_ : 1.0;
+}
+
 }  // namespace aql

@@ -65,6 +65,40 @@ class LlcModel {
   std::vector<SocketState> sockets_;
 };
 
+// Per-socket memory-bus (DRAM bandwidth) contention model.
+//
+// Each pCPU registers the uncontended fetch-bandwidth demand of its in-flight
+// compute step (miss bytes per nanosecond of planned execution). When the
+// socket's aggregate demand exceeds the controller's sustainable bandwidth
+// (HwParams::mem_bw_bytes_per_ns), memory stalls stretch by demand/bandwidth
+// — the classic bandwidth-saturation slowdown streaming workloads inflict on
+// each other. With mem_bw_bytes_per_ns == 0 the bus is unmodeled and the
+// factor is always 1.
+class MemBus {
+ public:
+  MemBus(int sockets, double bw_bytes_per_ns);
+
+  // Registers/updates `pcpu`'s demand on `socket` (0 clears it).
+  void SetDemand(int socket, int pcpu, double bytes_per_ns);
+
+  // Aggregate registered demand on `socket`, in bytes per nanosecond.
+  double TotalDemand(int socket) const;
+
+  // Multiplier (>= 1) applied to memory-stall time on `socket`, given that a
+  // step with `extra_demand` is about to start there on top of the demand
+  // already registered.
+  double StallFactor(int socket, double extra_demand) const;
+
+  double bandwidth() const { return bw_; }
+
+ private:
+  double bw_;
+  // socket -> (pcpu -> demand). pCPU count per socket is small and fixed, so
+  // a flat map keyed by pcpu id is cheap and deterministic.
+  std::vector<std::unordered_map<int, double>> demand_;
+  std::vector<double> total_;
+};
+
 }  // namespace aql
 
 #endif  // AQLSCHED_SRC_HW_LLC_MODEL_H_

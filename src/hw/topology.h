@@ -34,6 +34,12 @@ struct HwParams {
   // streaming workload's fetched lines (WSS > LLC) that are actually
   // inserted with enough priority to evict re-used working sets.
   double stream_insertion_fraction = 0.3;
+  // Per-socket DRAM bandwidth the memory controller sustains, in bytes per
+  // nanosecond. When the aggregate miss-fetch demand of the socket's running
+  // vCPUs exceeds it, memory stalls stretch proportionally (see MemBus).
+  // 0 = unmodeled (infinite bandwidth); the paper's scenarios predate this
+  // term, so it is enabled per-scenario to keep their baselines untouched.
+  double mem_bw_bytes_per_ns = 0.0;
 };
 
 // Physical machine layout. pCPUs are numbered globally, socket-major:
@@ -44,11 +50,22 @@ struct Topology {
   uint64_t l1_bytes = 32 * 1024;
   uint64_t l2_bytes = 256 * 1024;
   uint64_t llc_bytes = 8ull * 1024 * 1024;
+  // SLIT-style NUMA distances: local is the diagonal, remote everything
+  // else (all remote nodes are equidistant, as on the E5-4603's ring).
+  int numa_local_distance = 10;
+  int numa_remote_distance = 21;
 
   int TotalPcpus() const { return sockets * cores_per_socket; }
   int SocketOf(int pcpu) const;
   // pCPU ids belonging to `socket`.
   std::vector<int> PcpusOfSocket(int socket) const;
+
+  // SLIT distance between two sockets.
+  int NumaDistance(int from_socket, int to_socket) const;
+  // Extra stall per LLC miss served by a remote node, derived from the SLIT
+  // ratio: a remote access costs distance_remote/distance_local times the
+  // local DRAM penalty.
+  TimeNs RemoteMissExtra(TimeNs llc_miss_penalty) const;
 };
 
 // Table 2 machine: Intel i7-3770, one socket, 8 MB LLC. The paper's

@@ -1,0 +1,123 @@
+#include "src/workload/bursty_io.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+namespace {
+constexpr int kPhaseFlipTimer = 0;
+// Arrival timers are tagged with the ON-phase generation that scheduled
+// them, so arrivals still in flight when the phase flips are discarded.
+constexpr int kArrivalTagBase = 1;
+
+int ArrivalTag(uint64_t generation) {
+  return kArrivalTagBase + static_cast<int>(generation & 0x3fffffffu);
+}
+}  // namespace
+
+BurstyIoModel::BurstyIoModel(const BurstyIoConfig& config) : config_(config) {
+  AQL_CHECK(config_.on_arrival_rate_hz > 0);
+  AQL_CHECK(config_.on_duration > 0);
+  AQL_CHECK(config_.off_duration > 0);
+  AQL_CHECK(config_.service_work > 0);
+  AQL_CHECK(config_.phase > 0);
+}
+
+void BurstyIoModel::OnAttach(WorkloadHost* host, int vcpu) {
+  WorkloadModel::OnAttach(host, vcpu);
+  ScheduleNextArrival(host->Now());
+  SchedulePhaseFlip(host->Now());
+}
+
+void BurstyIoModel::ScheduleNextArrival(TimeNs now) {
+  const TimeNs mean = static_cast<TimeNs>(1e9 / config_.on_arrival_rate_hz);
+  const TimeNs gap = host_->WorkloadRng().ExponentialNs(mean);
+  host_->ScheduleTimer(now + gap, vcpu_, ArrivalTag(phase_generation_));
+}
+
+void BurstyIoModel::SchedulePhaseFlip(TimeNs now) {
+  const TimeNs duration = on_ ? config_.on_duration : config_.off_duration;
+  host_->ScheduleTimer(now + duration, vcpu_, kPhaseFlipTimer);
+}
+
+void BurstyIoModel::OnTimer(TimeNs now, int tag) {
+  if (tag == kPhaseFlipTimer) {
+    on_ = !on_;
+    if (on_) {
+      ++phase_generation_;
+      ScheduleNextArrival(now);
+    }
+    SchedulePhaseFlip(now);
+    return;
+  }
+  if (!on_ || tag != ArrivalTag(phase_generation_)) {
+    return;  // stale arrival from a previous ON phase
+  }
+  if (queue_.size() >= config_.max_queue) {
+    ++dropped_;
+  } else {
+    queue_.push_back(now);
+    host_->NotifyIoEvent(vcpu_);
+  }
+  ScheduleNextArrival(now);
+}
+
+Step BurstyIoModel::NextStep(TimeNs now) {
+  (void)now;
+  if (queue_.empty()) {
+    // OFF phase (or an ON-phase lull): in-guest background computation keeps
+    // the vCPU observable through quiet monitoring periods.
+    in_request_ = false;
+    return Step::Compute(config_.phase, config_.mem);
+  }
+  in_request_ = true;
+  if (current_remaining_ <= 0) {
+    current_remaining_ = config_.service_work;
+  }
+  const TimeNs chunk = std::min(current_remaining_, config_.phase);
+  return Step::Compute(chunk, config_.mem);
+}
+
+void BurstyIoModel::OnStepEnd(TimeNs now, const Step& step, TimeNs work_done,
+                              bool completed) {
+  (void)step;
+  (void)completed;
+  if (!in_request_) {
+    return;  // background computation; requests are untouched
+  }
+  current_remaining_ -= work_done;
+  if (current_remaining_ <= 0 && !queue_.empty()) {
+    const TimeNs arrival = queue_.front();
+    queue_.pop_front();
+    ++completed_;
+    latency_us_.Add(ToUs(now - arrival));
+    current_remaining_ = 0;
+  }
+}
+
+PerfReport BurstyIoModel::Report(TimeNs now) const {
+  PerfReport r;
+  r.workload_name = config_.name;
+  const double mean_lat = latency_us_.mean();
+  r.metrics[PerfReport::kPrimaryMetric] = mean_lat;
+  r.metrics["latency_mean_us"] = mean_lat;
+  r.metrics["latency_p95_us"] = latency_us_.Percentile(95);
+  r.metrics["latency_p99_us"] = latency_us_.Percentile(99);
+  const double window_s = ToSec(now - window_start_);
+  r.metrics["throughput_per_s"] =
+      window_s > 0 ? static_cast<double>(completed_) / window_s : 0.0;
+  r.metrics["dropped"] = static_cast<double>(dropped_);
+  const double cycle = static_cast<double>(config_.on_duration + config_.off_duration);
+  r.metrics["on_fraction"] = static_cast<double>(config_.on_duration) / cycle;
+  return r;
+}
+
+void BurstyIoModel::ResetMetrics(TimeNs now) {
+  latency_us_.Reset();
+  completed_ = 0;
+  dropped_ = 0;
+  window_start_ = now;
+}
+
+}  // namespace aql

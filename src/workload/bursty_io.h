@@ -1,0 +1,80 @@
+// Bursty/diurnal I/O workload: request service with on/off phases.
+//
+// The model alternates an ON phase (open-loop Poisson arrivals, like
+// io_server) with an OFF phase in which no requests arrive and the vCPU runs
+// in-guest background computation (log rotation, compaction) instead of
+// blocking — so the hypervisor keeps observing it through quiet monitoring
+// periods, which is what lets vTRS measure the I/O-cursor dispersion that
+// defines the BurstyIo type. Phase lengths are chosen against the vTRS
+// window (30 ms periods, n = 4): phases of ~2.5 periods guarantee every full
+// window sees both a saturated and a silent I/O period.
+//
+// Performance metric: mean request latency over completed requests (smaller
+// is better), as for the steady I/O servers.
+
+#ifndef AQLSCHED_SRC_WORKLOAD_BURSTY_IO_H_
+#define AQLSCHED_SRC_WORKLOAD_BURSTY_IO_H_
+
+#include <deque>
+#include <string>
+
+#include "src/metrics/stats.h"
+#include "src/workload/workload.h"
+
+namespace aql {
+
+struct BurstyIoConfig {
+  std::string name = "bursty_io";
+  // Mean Poisson arrival rate during ON phases, per second.
+  double on_arrival_rate_hz = 400.0;
+  // Phase durations. The cycle starts with an ON phase.
+  TimeNs on_duration = Ms(75);
+  TimeNs off_duration = Ms(75);
+  // Pure-CPU cost of handling one request.
+  TimeNs service_work = Us(150);
+  // Memory behaviour of request service and background computation.
+  MemProfile mem;
+  // Step granularity.
+  TimeNs phase = Us(100);
+  // Arrivals beyond this backlog are dropped.
+  size_t max_queue = 4096;
+};
+
+class BurstyIoModel : public WorkloadModel {
+ public:
+  explicit BurstyIoModel(const BurstyIoConfig& config);
+
+  void OnAttach(WorkloadHost* host, int vcpu) override;
+  Step NextStep(TimeNs now) override;
+  void OnStepEnd(TimeNs now, const Step& step, TimeNs work_done, bool completed) override;
+  void OnTimer(TimeNs now, int tag) override;
+  std::string Name() const override { return config_.name; }
+  PerfReport Report(TimeNs now) const override;
+  void ResetMetrics(TimeNs now) override;
+
+  bool in_on_phase() const { return on_; }
+  uint64_t completed_requests() const { return completed_; }
+  uint64_t dropped_requests() const { return dropped_; }
+  const SampleStats& latency_us() const { return latency_us_; }
+
+ private:
+  void ScheduleNextArrival(TimeNs now);
+  void SchedulePhaseFlip(TimeNs now);
+
+  BurstyIoConfig config_;
+  bool on_ = true;
+  // Arrival timers outlive phase flips; stamp each with the ON-phase
+  // generation so stale ones are ignored.
+  uint64_t phase_generation_ = 0;
+  std::deque<TimeNs> queue_;  // arrival timestamps, FIFO
+  TimeNs current_remaining_ = 0;
+  bool in_request_ = false;
+  uint64_t completed_ = 0;
+  uint64_t dropped_ = 0;
+  SampleStats latency_us_;
+  TimeNs window_start_ = 0;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_WORKLOAD_BURSTY_IO_H_

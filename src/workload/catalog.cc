@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "src/sim/check.h"
+#include "src/workload/bursty_io.h"
 #include "src/workload/cpu_burn.h"
 #include "src/workload/io_server.h"
+#include "src/workload/mem_stream.h"
 #include "src/workload/spin_sync.h"
 
 namespace aql {
@@ -83,6 +85,26 @@ Factory MakeIoFactory(IoServerConfig cfg) {
   };
 }
 
+Factory MakeStreamFactory(MemStreamConfig cfg) {
+  return [cfg](int count, const AppOptions&) {
+    std::vector<std::unique_ptr<WorkloadModel>> out;
+    for (int i = 0; i < count; ++i) {
+      out.push_back(std::make_unique<MemStreamModel>(cfg));
+    }
+    return out;
+  };
+}
+
+Factory MakeBurstyFactory(BurstyIoConfig cfg) {
+  return [cfg](int count, const AppOptions&) {
+    std::vector<std::unique_ptr<WorkloadModel>> out;
+    for (int i = 0; i < count; ++i) {
+      out.push_back(std::make_unique<BurstyIoModel>(cfg));
+    }
+    return out;
+  };
+}
+
 Factory MakeSpinFactory(SpinSyncConfig cfg) {
   return [cfg](int count, const AppOptions& options) {
     auto lock = std::make_shared<SpinLock>(options.fifo_lock);
@@ -103,7 +125,11 @@ const std::vector<Entry>& Entries() {
     auto* e = new std::vector<Entry>;
     auto add = [e](const std::string& name, VcpuType t, const std::string& suite,
                    Factory make) {
-      e->push_back(Entry{AppProfile{name, t, suite}, std::move(make)});
+      e->push_back(Entry{AppProfile{name, t, suite, /*extended=*/false}, std::move(make)});
+    };
+    auto add_extended = [e](const std::string& name, VcpuType t, const std::string& suite,
+                            Factory make) {
+      e->push_back(Entry{AppProfile{name, t, suite, /*extended=*/true}, std::move(make)});
     };
 
     // --- I/O intensive (reference suites + Table 1 micro-benchmarks) ---
@@ -201,6 +227,50 @@ const std::vector<Entry>& Entries() {
     add("llco_list", VcpuType::kLlco, "micro",
         MakeBurnFactory(Burn("llco_list", 16 * kMiB, 0.0120)));
 
+    // --- Extended catalog (post-paper types; excluded from Catalog()) ---
+
+    // MemBw: STREAM-style kernels — reference rates an order of magnitude
+    // above the LLCO burners, no reuse; MPKI lands well above the
+    // membw_mpki_limit while LLCO applications stay below it.
+    auto stream = [](const std::string& name, uint64_t wss, double refs_per_ns,
+                     double remote_fraction) {
+      MemStreamConfig c;
+      c.name = name;
+      c.mem = Mem(wss, refs_per_ns);
+      c.mem.remote_fraction = remote_fraction;
+      return c;
+    };
+    add_extended("stream_triad", VcpuType::kMemBw, "STREAM",
+                 MakeStreamFactory(stream("stream_triad", 64 * kMiB, 0.050, 0.0)));
+    add_extended("membw_scan", VcpuType::kMemBw, "micro",
+                 MakeStreamFactory(stream("membw_scan", 32 * kMiB, 0.040, 0.0)));
+
+    // NumaRemote: moderate-rate streaming against memory pinned to a remote
+    // node — MPKI stays below the MemBw limit, but the remote-access ratio
+    // saturates the NumaRemote cursor. Only meaningful on multi-socket rigs.
+    add_extended("numa_stream", VcpuType::kNumaRemote, "micro",
+                 MakeStreamFactory(stream("numa_stream", 16 * kMiB, 0.0040, 0.90)));
+    add_extended("numa_mcf", VcpuType::kNumaRemote, "micro",
+                 MakeStreamFactory(stream("numa_mcf", 20 * kMiB, 0.0060, 0.75)));
+
+    // BurstyIo: diurnal on/off request service. Phases of 2.5 monitoring
+    // periods guarantee every vTRS window sees both a saturated and a silent
+    // I/O period; the service/background working set is LLC-resident (not
+    // LoLCF) so quiet periods do not masquerade as cache-friendly compute.
+    auto bursty = [](const std::string& name, double rate_hz, TimeNs service,
+                     uint64_t wss, double refs_per_ns) {
+      BurstyIoConfig c;
+      c.name = name;
+      c.on_arrival_rate_hz = rate_hz;
+      c.service_work = service;
+      c.mem = Mem(wss, refs_per_ns);
+      return c;
+    };
+    add_extended("diurnal_web", VcpuType::kBurstyIo, "micro",
+                 MakeBurstyFactory(bursty("diurnal_web", 400.0, Us(150), 3 * kMiB, 0.004)));
+    add_extended("bursty_logger", VcpuType::kBurstyIo, "micro",
+                 MakeBurstyFactory(bursty("bursty_logger", 500.0, Us(100), 2 * kMiB, 0.003)));
+
     return e;
   }();
   return *entries;
@@ -218,6 +288,19 @@ const Entry& FindEntry(const std::string& name) {
 }  // namespace
 
 const std::vector<AppProfile>& Catalog() {
+  static const std::vector<AppProfile>* profiles = [] {
+    auto* p = new std::vector<AppProfile>;
+    for (const Entry& e : Entries()) {
+      if (!e.profile.extended) {
+        p->push_back(e.profile);
+      }
+    }
+    return p;
+  }();
+  return *profiles;
+}
+
+const std::vector<AppProfile>& ExtendedCatalog() {
   static const std::vector<AppProfile>* profiles = [] {
     auto* p = new std::vector<AppProfile>;
     for (const Entry& e : Entries()) {
@@ -252,7 +335,7 @@ std::unique_ptr<WorkloadModel> MakeSingleApp(const std::string& name) {
 
 std::vector<std::string> AppsOfType(VcpuType type) {
   std::vector<std::string> out;
-  for (const AppProfile& p : Catalog()) {
+  for (const AppProfile& p : ExtendedCatalog()) {
     if (p.expected_type == type) {
       out.push_back(p.name);
     }

@@ -25,10 +25,19 @@ struct AppProfile {
   // Benchmark suite the application belongs to ("SPEC CPU2006", "PARSEC",
   // "SPECweb2009", "micro", ...).
   std::string suite;
+  // True for post-paper applications (MemBw / NumaRemote / BurstyIo). The
+  // paper-figure sweeps iterate Catalog() and must keep reproducing the
+  // paper's tables, so extended applications live behind this flag.
+  bool extended = false;
 };
 
-// All known applications.
+// The paper's applications (Table 1 / Table 3) — what the paper-figure
+// sweeps iterate.
 const std::vector<AppProfile>& Catalog();
+
+// Paper applications plus the extended profiles (memory-bandwidth-bound,
+// NUMA-remote, bursty I/O) — the 8-type catalog of table3x_recognition.
+const std::vector<AppProfile>& ExtendedCatalog();
 
 // Profile lookup; aborts on unknown names.
 const AppProfile& FindApp(const std::string& name);
@@ -50,7 +59,8 @@ std::vector<std::unique_ptr<WorkloadModel>> MakeApp(const std::string& name, int
 // Convenience: single-vCPU instantiation.
 std::unique_ptr<WorkloadModel> MakeSingleApp(const std::string& name);
 
-// Names of all applications of a given expected type.
+// Names of all applications of a given expected type, searching the
+// extended catalog (the only home of the post-paper types).
 std::vector<std::string> AppsOfType(VcpuType type);
 
 }  // namespace aql

@@ -1,0 +1,76 @@
+#include "src/workload/mem_stream.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+MemStreamModel::MemStreamModel(const MemStreamConfig& config) : config_(config) {
+  AQL_CHECK(config_.burst > 0);
+  AQL_CHECK(config_.gap >= 0);
+  AQL_CHECK(config_.mem.wss_bytes > 0);
+  AQL_CHECK(config_.mem.llc_refs_per_ns > 0);
+}
+
+Step MemStreamModel::NextStep(TimeNs now) {
+  (void)now;
+  if (finished_) {
+    return Step::Finished();
+  }
+  if (config_.total_work > 0 && done_total_ >= config_.total_work) {
+    return Step::Finished();
+  }
+  if (in_gap_ && config_.gap > 0) {
+    // Loop overhead between sweeps: register-only, no LLC references.
+    MemProfile overhead;
+    overhead.instructions_per_ns = config_.mem.instructions_per_ns;
+    return Step::Compute(config_.gap, overhead);
+  }
+  TimeNs work = config_.burst;
+  if (config_.total_work > 0) {
+    work = std::min(work, config_.total_work - done_total_);
+  }
+  return Step::Compute(work, config_.mem);
+}
+
+void MemStreamModel::OnStepEnd(TimeNs now, const Step& step, TimeNs work_done,
+                               bool completed) {
+  done_total_ += work_done;
+  done_window_ += work_done;
+  // Only a completed streaming burst earns its gap; truncated bursts resume
+  // streaming at the next dispatch.
+  const bool was_burst = step.mem.wss_bytes > 0;
+  in_gap_ = was_burst && completed;
+  if (config_.total_work > 0 && done_total_ >= config_.total_work && !finished_) {
+    finished_ = true;
+    finish_time_ = now;
+  }
+}
+
+PerfReport MemStreamModel::Report(TimeNs now) const {
+  PerfReport r;
+  r.workload_name = config_.name;
+  const TimeNs elapsed = (finished_ ? finish_time_ : now) - window_start_;
+  const double work = static_cast<double>(done_window_);
+  const double slowdown = work > 0 ? static_cast<double>(elapsed) / work : 0.0;
+  r.metrics[PerfReport::kPrimaryMetric] = slowdown;
+  r.metrics["slowdown"] = slowdown;
+  r.metrics["work_done_s"] = ToSec(done_window_);
+  // Demanded fetch bandwidth over the window: the streaming portion of the
+  // pure work times the reference rate, one line per reference (no reuse).
+  const double cycle = static_cast<double>(config_.burst + config_.gap);
+  const double stream_share = static_cast<double>(config_.burst) / cycle;
+  const double bytes =
+      work * stream_share * config_.mem.llc_refs_per_ns * 64.0;
+  r.metrics["demand_gb_per_s"] =
+      elapsed > 0 ? bytes / static_cast<double>(elapsed) : 0.0;
+  return r;
+}
+
+void MemStreamModel::ResetMetrics(TimeNs now) {
+  done_window_ = 0;
+  window_start_ = now;
+}
+
+}  // namespace aql

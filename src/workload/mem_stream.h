@@ -1,0 +1,64 @@
+// Memory-streaming workload: STREAM-style kernels sweeping a working set far
+// larger than the LLC, with no reuse. Covers the two extended memory types:
+//   MemBw      : node-local streaming that saturates the socket's DRAM
+//                bandwidth (high refs/ns -> high MPKI);
+//   NumaRemote : the same access pattern against memory pinned to a remote
+//                NUMA node (remote_fraction > 0, moderate rate).
+//
+// The model alternates a long streaming burst with a short register-only
+// loop-overhead gap (index arithmetic between sweeps), so its LLC pressure
+// has the on/off micro-structure of real streaming kernels while staying
+// memory-dominated.
+//
+// Performance metric: slowdown (wall time per unit of pure work, smaller is
+// better) like the CPU burners, plus the demanded fetch volume per second —
+// the bandwidth view of the same number.
+
+#ifndef AQLSCHED_SRC_WORKLOAD_MEM_STREAM_H_
+#define AQLSCHED_SRC_WORKLOAD_MEM_STREAM_H_
+
+#include <string>
+
+#include "src/workload/workload.h"
+
+namespace aql {
+
+struct MemStreamConfig {
+  std::string name = "mem_stream";
+  // Streaming memory behaviour (wss_bytes should overflow the LLC;
+  // remote_fraction > 0 turns the profile NUMA-remote).
+  MemProfile mem;
+  // Pure-work length of one streaming burst.
+  TimeNs burst = Us(180);
+  // Register-only loop-overhead gap between bursts (no LLC references).
+  TimeNs gap = Us(20);
+  // Total pure work; 0 = run forever.
+  TimeNs total_work = 0;
+};
+
+class MemStreamModel : public WorkloadModel {
+ public:
+  explicit MemStreamModel(const MemStreamConfig& config);
+
+  Step NextStep(TimeNs now) override;
+  void OnStepEnd(TimeNs now, const Step& step, TimeNs work_done, bool completed) override;
+  std::string Name() const override { return config_.name; }
+  PerfReport Report(TimeNs now) const override;
+  void ResetMetrics(TimeNs now) override;
+
+  TimeNs work_done_total() const { return done_total_; }
+  bool finished() const { return finished_; }
+
+ private:
+  MemStreamConfig config_;
+  bool in_gap_ = false;   // next step is the loop-overhead gap
+  TimeNs done_total_ = 0;
+  TimeNs done_window_ = 0;
+  TimeNs window_start_ = 0;
+  bool finished_ = false;
+  TimeNs finish_time_ = 0;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_WORKLOAD_MEM_STREAM_H_

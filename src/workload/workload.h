@@ -29,6 +29,13 @@ struct MemProfile {
   double llc_refs_per_ns = 0.0;
   // Instructions retired per nanosecond of pure work.
   double instructions_per_ns = 2.0;
+  // Fraction of DRAM accesses (LLC misses) served by a remote NUMA node,
+  // modelling guest memory pinned far from where the vCPU runs. The machine
+  // charges each remote access the topology's NUMA-distance penalty and
+  // counts it in the PMU. Only meaningful on multi-socket topologies (a
+  // single-socket machine has no remote node and the fraction is ignored);
+  // page migration is not modelled, so the fraction is static.
+  double remote_fraction = 0.0;
 };
 
 // One schedulable unit of guest activity.

@@ -45,6 +45,23 @@ VcpuClass Make(int vcpu, int vm, VcpuType type) {
       c.avg.llco = 25;
       c.avg.llcf = 15;
       break;
+    case VcpuType::kMemBw:
+      c.avg.membw = 85;
+      c.avg.llco = 10;
+      c.avg.lolcf = 5;
+      break;
+    case VcpuType::kNumaRemote:
+      c.avg.remote = 85;
+      c.avg.llcf = 10;
+      c.avg.lolcf = 5;
+      break;
+    case VcpuType::kBurstyIo:
+      c.avg.bursty = 90;
+      c.avg.io = 50;
+      c.avg.llcf = 70;
+      c.avg.lolcf = 20;
+      c.avg.llco = 10;
+      break;
   }
   return c;
 }

@@ -33,6 +33,52 @@ TEST(TopologyTest, I73770Preset) {
   EXPECT_EQ(t.l2_bytes, 256ull * 1024);
 }
 
+TEST(TopologyTest, NumaDistancesAreSlitStyle) {
+  Topology t = MakeE54603Topology();
+  EXPECT_EQ(t.NumaDistance(0, 0), 10);
+  EXPECT_EQ(t.NumaDistance(1, 1), 10);
+  EXPECT_EQ(t.NumaDistance(0, 3), 21);
+  EXPECT_EQ(t.NumaDistance(2, 1), 21);
+}
+
+TEST(TopologyTest, RemoteMissExtraFromDistanceRatio) {
+  Topology t = MakeE54603Topology();
+  // 21/10 distance ratio: a remote access costs 2.1x the local penalty,
+  // i.e. 1.1x extra on top of an 80 ns miss.
+  EXPECT_EQ(t.RemoteMissExtra(80), 88);
+  // Equal distances mean no extra cost.
+  t.numa_remote_distance = t.numa_local_distance;
+  EXPECT_EQ(t.RemoteMissExtra(80), 0);
+}
+
+TEST(MemBusTest, UnmodeledBusNeverStalls) {
+  MemBus bus(2, 0.0);
+  bus.SetDemand(0, 0, 50.0);
+  EXPECT_DOUBLE_EQ(bus.StallFactor(0, 10.0), 1.0);
+}
+
+TEST(MemBusTest, FactorGrowsPastSaturation) {
+  MemBus bus(2, 1.0);
+  EXPECT_DOUBLE_EQ(bus.StallFactor(0, 0.5), 1.0);  // under the limit
+  bus.SetDemand(0, 0, 0.8);
+  EXPECT_DOUBLE_EQ(bus.TotalDemand(0), 0.8);
+  // 0.8 registered + 0.7 incoming = 1.5x the bus.
+  EXPECT_DOUBLE_EQ(bus.StallFactor(0, 0.7), 1.5);
+  // Sockets are independent.
+  EXPECT_DOUBLE_EQ(bus.StallFactor(1, 0.7), 1.0);
+}
+
+TEST(MemBusTest, DemandUpdatesAndClears) {
+  MemBus bus(1, 1.0);
+  bus.SetDemand(0, 0, 0.6);
+  bus.SetDemand(0, 1, 0.6);
+  EXPECT_DOUBLE_EQ(bus.TotalDemand(0), 1.2);
+  bus.SetDemand(0, 0, 0.2);  // re-register replaces, not accumulates
+  EXPECT_DOUBLE_EQ(bus.TotalDemand(0), 0.8);
+  bus.SetDemand(0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(bus.TotalDemand(0), 0.2);
+}
+
 class LlcModelTest : public ::testing::Test {
  protected:
   HwParams params_;

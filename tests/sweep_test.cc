@@ -88,11 +88,11 @@ TEST(SweepEngineTest, SeedSaltChangesStreams) {
 
 TEST(SweepEngineTest, RegisteredSweepsCoverTheFigures) {
   const SweepRegistry& registry = SweepRegistry::Instance();
-  EXPECT_GE(registry.size(), 10u);
+  EXPECT_GE(registry.size(), 11u);
   for (const char* name :
        {"fig2_calibration", "fig4_vtrs_traces", "fig5_validation", "fig6_effectiveness",
-        "fig7_customization", "fig8_comparison", "table3_recognition", "table5_clusters",
-        "ablation", "overhead"}) {
+        "fig7_customization", "fig8_comparison", "table3_recognition",
+        "table3x_recognition", "table5_clusters", "ablation", "overhead"}) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }
   EXPECT_EQ(registry.Find("nonexistent"), nullptr);
@@ -100,6 +100,23 @@ TEST(SweepEngineTest, RegisteredSweepsCoverTheFigures) {
 
 TEST(SweepEngineTest, RegisteredSweepQuickRunIsThreadCountInvariant) {
   const SweepSpec* spec = SweepRegistry::Instance().Find("table5_clusters");
+  ASSERT_NE(spec, nullptr);
+  SweepOptions serial;
+  serial.quick = true;
+  serial.jobs = 1;
+  SweepOptions parallel = serial;
+  parallel.jobs = 4;
+  const SweepResult r1 = RunSweep(*spec, serial);
+  const SweepResult r4 = RunSweep(*spec, parallel);
+  EXPECT_EQ(SweepJson(r1, /*include_timing=*/false).Dump(),
+            SweepJson(r4, /*include_timing=*/false).Dump());
+}
+
+TEST(SweepEngineTest, Table3xQuickRunIsThreadCountInvariant) {
+  // The extended-catalog sweep mixes single-socket, memory-bus and NUMA
+  // rigs; the jobs=1 vs jobs=4 contract must hold for it like for the
+  // paper sweeps.
+  const SweepSpec* spec = SweepRegistry::Instance().Find("table3x_recognition");
   ASSERT_NE(spec, nullptr);
   SweepOptions serial;
   serial.quick = true;

@@ -26,6 +26,32 @@ Levels LlcoLevels() {
   Levels l;
   l.llc_rr = 4.0;
   l.llc_mr_pct = 95.0;
+  l.mpki = 3.0;  // trashing, but nowhere near bandwidth saturation
+  return l;
+}
+
+Levels MemBwLevels() {
+  Levels l;
+  l.llc_rr = 12.0;
+  l.llc_mr_pct = 98.0;
+  l.mpki = 25.0;
+  return l;
+}
+
+Levels RemoteLevels() {
+  Levels l;
+  l.llc_rr = 2.5;
+  l.llc_mr_pct = 90.0;
+  l.mpki = 2.0;
+  l.remote_ratio = 0.85;
+  return l;
+}
+
+Levels QuietComputeLevels() {
+  // Background computation between I/O bursts: no events, LLC-resident set.
+  Levels l;
+  l.llc_rr = 2.0;
+  l.llc_mr_pct = 35.0;
   return l;
 }
 
@@ -94,6 +120,63 @@ TEST(VtrsTest, TypeTransitionLatencyIsWindowBound) {
     ++periods;
   }
   EXPECT_LE(periods, cfg.window);
+}
+
+TEST(VtrsTest, ExtendedMemoryTypesClassify) {
+  Vtrs vtrs{VtrsConfig{}};
+  for (int i = 0; i < 4; ++i) {
+    vtrs.Observe(0, MemBwLevels());
+    vtrs.Observe(1, RemoteLevels());
+  }
+  EXPECT_EQ(vtrs.TypeOf(0), VcpuType::kMemBw);
+  EXPECT_EQ(vtrs.TypeOf(1), VcpuType::kNumaRemote);
+  // Streaming trashes co-residents; remote-bound misses mostly do not.
+  EXPECT_TRUE(vtrs.IsTrashingVcpu(0));
+}
+
+TEST(VtrsTest, DiurnalIoReadsBursty) {
+  Vtrs vtrs{VtrsConfig{}};
+  // On/off I/O phases: the window mixes saturated and silent I/O periods.
+  for (int i = 0; i < 8; ++i) {
+    vtrs.Observe(0, i % 4 < 2 ? IoLevels(10) : QuietComputeLevels());
+  }
+  const CursorSet avg = vtrs.Average(0);
+  EXPECT_DOUBLE_EQ(avg.bursty, 100.0);
+  EXPECT_EQ(vtrs.TypeOf(0), VcpuType::kBurstyIo);
+}
+
+TEST(VtrsTest, SteadyIoIsNotBursty) {
+  Vtrs vtrs{VtrsConfig{}};
+  for (int i = 0; i < 8; ++i) {
+    vtrs.Observe(0, IoLevels(10));
+  }
+  EXPECT_DOUBLE_EQ(vtrs.Average(0).bursty, 0.0);
+  EXPECT_EQ(vtrs.TypeOf(0), VcpuType::kIoInt);
+}
+
+TEST(VtrsTest, BurstyGateSuppressesRampNoise) {
+  VtrsConfig cfg;
+  cfg.bursty_spread_limit = 60.0;
+  Vtrs vtrs(cfg);
+  // A ramping steady server: one slow period then saturation. Spread 50 is
+  // below the gate, so the vCPU stays IOInt.
+  auto ramp = [](double events) {
+    Levels l = QuietComputeLevels();
+    l.io_events = events;
+    return l;
+  };
+  vtrs.Observe(0, ramp(1));  // io cursor 50
+  for (int i = 0; i < 3; ++i) {
+    vtrs.Observe(0, ramp(10));  // io cursor 100
+  }
+  EXPECT_DOUBLE_EQ(vtrs.Average(0).bursty, 0.0);
+  EXPECT_EQ(vtrs.TypeOf(0), VcpuType::kIoInt);
+}
+
+TEST(VtrsTest, SingleSampleWindowHasNoBurstyCursor) {
+  Vtrs vtrs{VtrsConfig{}};
+  vtrs.Observe(0, IoLevels(10));
+  EXPECT_DOUBLE_EQ(vtrs.Average(0).bursty, 0.0);
 }
 
 TEST(VtrsTest, ForgetDropsState) {
