@@ -3,6 +3,7 @@
 //   aql_bench --list                     enumerate registered sweeps
 //   aql_bench --run <name> [--run ...]   run selected sweeps
 //   aql_bench --all                      run every registered sweep
+//   aql_bench merge [opts] <frag>...     merge shard fragments (see below)
 //
 // Options:
 //   --jobs N         worker threads for (scenario, policy) cells
@@ -12,15 +13,34 @@
 //   --out DIR        output directory for BENCH_<name>.json (default ".")
 //   --stable-json    omit wall-clock timing from JSON (byte-comparable runs)
 //   --no-json        skip JSON emission entirely
+//   --shard K/N      run only shard K of N (1-based): cells are partitioned
+//                    round-robin over their deterministic expansion order,
+//                    the render step is skipped, and the output is a
+//                    BENCH_<name>.shard<K>of<N>.json fragment for `merge`
+//   --cache-dir DIR  reuse cached cell results (content-addressed on the
+//                    cell's configuration; see docs/BENCH_FORMAT.md)
+//
+// The merge subcommand combines fragments — grouped by sweep, so fragments
+// of several sweeps can be passed in one invocation — into BENCH_<name>.json
+// files byte-identical to unsharded `--stable-json` runs. It errors on
+// overlapping, missing or mismatched fragments.
+//
+//   aql_bench merge [--out DIR] [--timing] <fragment.json>...
+//
+//   --timing         include wall-clock fields in the merged JSON (per-cell
+//                    compute times from the fragments; the total is their
+//                    sum, since fragments may come from different machines)
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/experiment/merge.h"
 #include "src/experiment/registry.h"
 #include "src/metrics/table.h"
 
@@ -30,7 +50,9 @@ namespace {
 void Usage(FILE* out) {
   std::fprintf(out,
                "usage: aql_bench (--list | --all | --run <name>...) "
-               "[--jobs N] [--quick] [--out DIR] [--stable-json] [--no-json]\n");
+               "[--jobs N] [--quick] [--out DIR] [--stable-json] [--no-json] "
+               "[--shard K/N] [--cache-dir DIR]\n"
+               "       aql_bench merge [--out DIR] [--timing] <fragment.json>...\n");
 }
 
 int DefaultJobs() {
@@ -50,7 +72,86 @@ int ListSweeps(const SweepOptions& options) {
   return 0;
 }
 
+// `aql_bench merge`: groups the given fragments by sweep and merges each
+// group into a BENCH_<name>.json equal to an unsharded run's output.
+int MergeMain(int argc, char** argv) {
+  std::string out_dir = ".";
+  bool timing = false;
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aql_bench merge: --out needs a value\n");
+        return 2;
+      }
+      out_dir = argv[++i];
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "aql_bench merge: unknown argument: %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "aql_bench merge: no fragment files given\n");
+    Usage(stderr);
+    return 2;
+  }
+
+  // Group the parsed fragments by their recorded sweep name (deep
+  // validation happens inside MergeFragmentDocs); parse each file once.
+  struct Group {
+    std::vector<JsonValue> docs;
+    std::vector<std::string> paths;
+  };
+  std::map<std::string, Group> by_sweep;
+  for (const std::string& path : paths) {
+    JsonValue doc;
+    std::string error;
+    if (!LoadFragmentFile(path, &doc, &error)) {
+      std::fprintf(stderr, "aql_bench merge: %s\n", error.c_str());
+      return 1;
+    }
+    const JsonValue* bench = doc.Find("bench");
+    if (bench == nullptr || !bench->IsString()) {
+      std::fprintf(stderr, "aql_bench merge: %s: missing 'bench' field\n", path.c_str());
+      return 1;
+    }
+    Group& group = by_sweep[bench->AsString()];
+    group.docs.push_back(std::move(doc));
+    group.paths.push_back(path);
+  }
+
+  for (const auto& [sweep, group] : by_sweep) {
+    const MergeOutcome outcome = MergeFragmentDocs(group.docs, group.paths);
+    if (!outcome.ok) {
+      std::fprintf(stderr, "aql_bench merge: %s: %s\n", sweep.c_str(),
+                   outcome.error.c_str());
+      return 1;
+    }
+    std::printf("=== %s (merged from %zu fragments) ===\n", sweep.c_str(),
+                group.paths.size());
+    std::fputs(outcome.result.text.c_str(), stdout);
+    const std::string path =
+        WriteSweepJson(outcome.result, out_dir, /*include_timing=*/timing);
+    std::printf("[%s] %zu cells merged, wrote %s\n", sweep.c_str(),
+                outcome.result.cells.size(), path.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) {
+    return MergeMain(argc, argv);
+  }
+
   SweepOptions options;
   options.jobs = DefaultJobs();
 
@@ -90,6 +191,19 @@ int Main(int argc, char** argv) {
       stable_json = true;
     } else if (arg == "--no-json") {
       write_json = false;
+    } else if (arg == "--shard") {
+      const char* spec = value();
+      int k = 0;
+      int n = 0;
+      if (std::sscanf(spec, "%d/%d", &k, &n) != 2 || n < 1 || k < 1 || k > n) {
+        std::fprintf(stderr, "aql_bench: --shard wants K/N with 1 <= K <= N, got %s\n",
+                     spec);
+        return 2;
+      }
+      options.shard_index = k;
+      options.shard_count = n;
+    } else if (arg == "--cache-dir") {
+      options.cache_dir = value();
     } else if (arg == "--help" || arg == "-h") {
       Usage(stdout);
       return 0;
@@ -115,15 +229,28 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
+  const bool sharded = options.shard_count > 0;
+  if (sharded && !write_json) {
+    std::fprintf(stderr, "aql_bench: --shard produces fragment JSON; "
+                         "--no-json makes a sharded run pointless\n");
+    return 2;
+  }
+
   for (const std::string& name : names) {
     const SweepSpec* spec = SweepRegistry::Instance().Find(name);
     if (spec == nullptr) {
       std::fprintf(stderr, "aql_bench: unknown sweep: %s (try --list)\n", name.c_str());
       return 2;
     }
-    std::printf("=== %s (%s%s, jobs=%d) ===\n", name.c_str(),
-                options.quick ? "quick" : "full",
-                stable_json ? ", stable-json" : "", options.jobs);
+    if (sharded) {
+      std::printf("=== %s (%s, shard %d/%d, jobs=%d) ===\n", name.c_str(),
+                  options.quick ? "quick" : "full", options.shard_index,
+                  options.shard_count, options.jobs);
+    } else {
+      std::printf("=== %s (%s%s, jobs=%d) ===\n", name.c_str(),
+                  options.quick ? "quick" : "full",
+                  stable_json ? ", stable-json" : "", options.jobs);
+    }
     std::fflush(stdout);
 
     const SweepResult result = RunSweep(*spec, options);
@@ -132,11 +259,18 @@ int Main(int argc, char** argv) {
                 result.wall_seconds);
 
     if (write_json) {
-      // --stable-json writes the deterministic projection (no wall-clock
-      // fields), byte-comparable across runs and thread counts.
-      const std::string path =
-          WriteSweepJson(result, out_dir, /*include_timing=*/!stable_json);
-      std::printf("[%s] wrote %s\n", name.c_str(), path.c_str());
+      if (sharded) {
+        // Fragments are inherently stable: per-cell wall times ride inside
+        // the records, everything else is deterministic.
+        const std::string path = WriteFragmentJson(result, out_dir);
+        std::printf("[%s] wrote %s\n", name.c_str(), path.c_str());
+      } else {
+        // --stable-json writes the deterministic projection (no wall-clock
+        // fields), byte-comparable across runs and thread counts.
+        const std::string path =
+            WriteSweepJson(result, out_dir, /*include_timing=*/!stable_json);
+        std::printf("[%s] wrote %s\n", name.c_str(), path.c_str());
+      }
     }
     std::printf("\n");
     std::fflush(stdout);

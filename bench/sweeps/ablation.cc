@@ -24,6 +24,10 @@ namespace {
 constexpr const char* kLlcfApps[] = {"astar", "bzip2", "gcc", "omnetpp", "xalancbmk"};
 constexpr uint64_t kLockSeeds[] = {47, 11, 23};
 
+// Id schemes: boost/<on|off>, recency/<prot|noprot>/q<ms>,
+// insert/<dip|full>/<app>, lock/<fifo|unfair>/s<seed>. Ids are
+// shard/merge/cache keys; keep them stable (docs/BENCH_FORMAT.md,
+// "Cell-ID stability rules").
 std::vector<SweepCell> Build(const SweepOptions& opts) {
   std::vector<SweepCell> cells;
   auto add = [&cells](SweepCell cell) { cells.push_back(std::move(cell)); };

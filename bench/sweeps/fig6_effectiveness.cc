@@ -24,6 +24,9 @@ std::vector<SweepCell> Build(const SweepOptions& opts) {
   auto add = [&cells, &opts](const std::string& tag, ScenarioSpec scenario,
                              PolicySpec policy) {
     SweepCell cell;
+    // Id scheme: <scenario>/<policy> tags built by the callers below. Ids
+    // are shard/merge/cache keys; keep them stable (docs/BENCH_FORMAT.md,
+    // "Cell-ID stability rules").
     cell.id = tag;
     cell.scenario = std::move(scenario);
     cell.scenario.warmup = opts.Warmup(cell.scenario.warmup);

@@ -45,6 +45,9 @@ std::vector<SweepCell> Build(const SweepOptions& opts) {
   std::vector<SweepCell> cells;
   for (const Variant& v : kVariants) {
     SweepCell cell;
+    // Id scheme: the variant tag (full/small/…). Ids are shard/merge/cache
+    // keys; keep them stable (docs/BENCH_FORMAT.md, "Cell-ID stability
+    // rules").
     cell.id = v.tag;
     cell.scenario = FourSocketScenario();
     cell.scenario.warmup = opts.Warmup(cell.scenario.warmup);

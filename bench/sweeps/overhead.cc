@@ -29,6 +29,8 @@ std::vector<SweepCell> Build(const SweepOptions& opts) {
   std::vector<SweepCell> cells;
   for (const char* policy : {"xen", "aql"}) {
     SweepCell cell;
+    // Id scheme: probe/<policy>. Ids are shard/merge/cache keys; keep them
+    // stable (docs/BENCH_FORMAT.md, "Cell-ID stability rules").
     cell.id = std::string("probe/") + policy;
     cell.scenario.machine = SingleSocketMachine(4);
     cell.scenario.name = "overhead_probe";

@@ -19,6 +19,8 @@ std::vector<SweepCell> Build(const SweepOptions& opts) {
   std::vector<SweepCell> cells;
   for (const AppProfile& app : Catalog()) {
     SweepCell cell;
+    // Id scheme: rec/<app>. Ids are shard/merge/cache keys; keep them
+    // stable (docs/BENCH_FORMAT.md, "Cell-ID stability rules").
     cell.id = "rec/" + app.name;
     cell.scenario = ValidationRig(app.name);
     cell.scenario.warmup = opts.Warmup(Sec(1));

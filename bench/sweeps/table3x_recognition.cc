@@ -25,6 +25,9 @@ std::vector<SweepCell> Build(const SweepOptions& opts) {
   std::vector<SweepCell> cells;
   for (const AppProfile& app : ExtendedCatalog()) {
     SweepCell cell;
+    // Id scheme: rec/<app> (+ base/<app> below). Ids are shard/merge/cache
+    // keys; keep them stable (docs/BENCH_FORMAT.md, "Cell-ID stability
+    // rules").
     cell.id = "rec/" + app.name;
     cell.scenario = ExtendedValidationRig(app.name);
     cell.scenario.warmup = opts.Warmup(Sec(1));

@@ -16,6 +16,9 @@ std::vector<SweepCell> Build(const SweepOptions& opts) {
   std::vector<SweepCell> cells;
   for (int s = 1; s <= 5; ++s) {
     SweepCell cell;
+    // Id scheme: S<index> (Table 4 scenario). Ids are shard/merge/cache
+    // keys; keep them stable (docs/BENCH_FORMAT.md, "Cell-ID stability
+    // rules").
     cell.id = "S" + std::to_string(s);
     cell.scenario = ColocationScenario(s);
     cell.scenario.warmup = opts.Warmup(cell.scenario.warmup);

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Diff two sets of BENCH_*.json files across commits.
+
+Compares the bench artifacts of an old (baseline) and a new run:
+
+* **Breakage** (exit 1): a sweep, summary metric, cell, or per-group metric
+  name that existed in the baseline is gone, or a document lost a required
+  top-level key. Renames and removals invalidate the repo's performance
+  trajectory, so they must be deliberate (update the baseline expectations
+  in the same PR).
+* **Warning** (exit 0): per-cell wall time or total wall time drifted more
+  than --wall-drift-pct (default 25%). Wall clock is hardware-noisy, so
+  drift never fails the check; CI runs this step non-blocking anyway.
+* Additions (new sweeps, metrics, cells) are reported as info.
+
+Summary metric *values* are printed with their deltas for human review;
+only names are contractual. When GITHUB_ACTIONS is set, breakages and
+warnings are also emitted as ::error::/::warning:: workflow annotations.
+
+Usage: scripts/bench_diff.py [--wall-drift-pct P] OLD_DIR NEW_DIR
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+REQUIRED_KEYS = ("bench", "options", "summary", "cells")
+# Wall times under this many seconds are dominated by scheduler noise;
+# drift on them is not worth a warning.
+WALL_FLOOR_SECONDS = 0.005
+
+
+def annotate(level, message):
+    print(f"{level.upper()}: {message}")
+    if os.environ.get("GITHUB_ACTIONS"):
+        print(f"::{level}::{message}")
+
+
+def load_benches(path):
+    """Returns {bench_name: doc} for every BENCH_*.json under path."""
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "**", "BENCH_*.json"), recursive=True))
+        # Shard fragments are intermediates, not trajectory points.
+        files = [f for f in files if ".shard" not in os.path.basename(f)]
+    else:
+        files = [path]
+    out = {}
+    for f in files:
+        with open(f, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        name = doc.get("bench", os.path.basename(f))
+        out[name] = doc
+    return out
+
+
+def cell_metrics(cell):
+    """{(group, metric_name)} for one cell."""
+    names = set()
+    for group in cell.get("groups", []):
+        for metric in group.get("metrics", {}):
+            names.add((group.get("name", "?"), metric))
+    return names
+
+
+def diff_bench(name, old, new, wall_drift_pct, breakages, warnings):
+    for key in REQUIRED_KEYS:
+        if key in old and key not in new:
+            breakages.append(f"{name}: lost required key '{key}'")
+    # Summary metric names are the sweep's public contract.
+    old_summary = old.get("summary", {})
+    new_summary = new.get("summary", {})
+    for metric in old_summary:
+        if metric not in new_summary:
+            breakages.append(f"{name}: summary metric '{metric}' disappeared")
+    for metric in sorted(set(new_summary) - set(old_summary)):
+        print(f"info: {name}: new summary metric '{metric}' = {new_summary[metric]}")
+    for metric, old_value in sorted(old_summary.items()):
+        new_value = new_summary.get(metric)
+        if new_value is None or new_value == old_value:
+            continue
+        delta = ""
+        if isinstance(old_value, (int, float)) and isinstance(new_value, (int, float)) and old_value:
+            delta = f" ({100.0 * (new_value - old_value) / abs(old_value):+.1f}%)"
+        print(f"info: {name}: summary '{metric}': {old_value} -> {new_value}{delta}")
+
+    old_cells = {c["id"]: c for c in old.get("cells", []) if "id" in c}
+    new_cells = {c["id"]: c for c in new.get("cells", []) if "id" in c}
+    for cell_id in old_cells:
+        if cell_id not in new_cells:
+            breakages.append(f"{name}: cell '{cell_id}' disappeared")
+    added = len(set(new_cells) - set(old_cells))
+    if added:
+        print(f"info: {name}: {added} new cells")
+
+    slow, fast = [], []
+    for cell_id, old_cell in old_cells.items():
+        new_cell = new_cells.get(cell_id)
+        if new_cell is None:
+            continue
+        missing = cell_metrics(old_cell) - cell_metrics(new_cell)
+        for group, metric in sorted(missing):
+            breakages.append(f"{name}: cell '{cell_id}' group '{group}' lost metric '{metric}'")
+        old_wall = old_cell.get("wall_seconds")
+        new_wall = new_cell.get("wall_seconds")
+        if old_wall is None or new_wall is None or old_wall < WALL_FLOOR_SECONDS:
+            continue
+        drift = 100.0 * (new_wall - old_wall) / old_wall
+        if drift > wall_drift_pct:
+            slow.append((drift, cell_id, old_wall, new_wall))
+        elif drift < -wall_drift_pct:
+            fast.append((drift, cell_id, old_wall, new_wall))
+
+    for drift, cell_id, old_wall, new_wall in sorted(slow, reverse=True)[:10]:
+        warnings.append(
+            f"{name}: cell '{cell_id}' wall time {old_wall:.3f}s -> {new_wall:.3f}s ({drift:+.0f}%)")
+    if len(slow) > 10:
+        warnings.append(f"{name}: ...and {len(slow) - 10} more cells slower than {wall_drift_pct}%")
+    if fast:
+        print(f"info: {name}: {len(fast)} cells more than {wall_drift_pct}% faster")
+
+    old_total = old.get("timing", {}).get("total_wall_seconds")
+    new_total = new.get("timing", {}).get("total_wall_seconds")
+    if old_total and new_total and old_total >= WALL_FLOOR_SECONDS:
+        drift = 100.0 * (new_total - old_total) / old_total
+        line = f"{name}: total wall {old_total:.2f}s -> {new_total:.2f}s ({drift:+.1f}%)"
+        if drift > wall_drift_pct:
+            warnings.append(line)
+        else:
+            print(f"info: {line}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--wall-drift-pct", type=float, default=25.0,
+                        help="warn when per-cell wall time drifts more than this percent")
+    parser.add_argument("old", help="baseline dir (or file) of BENCH_*.json")
+    parser.add_argument("new", help="candidate dir (or file) of BENCH_*.json")
+    args = parser.parse_args()
+
+    old_benches = load_benches(args.old)
+    new_benches = load_benches(args.new)
+    if not old_benches:
+        print(f"bench_diff: no baseline BENCH_*.json under {args.old}; nothing to compare")
+        return 0
+
+    breakages, warnings = [], []
+    for name in sorted(old_benches):
+        if name not in new_benches:
+            breakages.append(f"sweep '{name}' disappeared from the artifacts")
+            continue
+        diff_bench(name, old_benches[name], new_benches[name],
+                   args.wall_drift_pct, breakages, warnings)
+    for name in sorted(set(new_benches) - set(old_benches)):
+        print(f"info: new sweep '{name}' ({len(new_benches[name].get('cells', []))} cells)")
+
+    for message in warnings:
+        annotate("warning", message)
+    for message in breakages:
+        annotate("error", message)
+    print(f"bench_diff: {len(old_benches)} baseline sweeps, "
+          f"{len(breakages)} breakages, {len(warnings)} wall-time warnings")
+    return 1 if breakages else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+#include "src/experiment/cell_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/experiment/merge.h"
+
+namespace aql {
+
+namespace {
+
+inline constexpr int kCellCacheSchemaVersion = 1;
+
+uint64_t Fnv1a(const void* data, size_t n, uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Fnv1a(const std::string& s, uint64_t h = 14695981039346656037ULL) {
+  // Hash the length too, so concatenated fields cannot alias.
+  const uint64_t len = s.size();
+  h = Fnv1a(&len, sizeof(len), h);
+  return Fnv1a(s.data(), s.size(), h);
+}
+
+std::string HexHash(uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+// Tolerant comparisons for entry validation: any absent, mistyped or
+// out-of-range value is simply "not equal" (=> cache miss), never an abort.
+bool UintEquals(const JsonValue* v, uint64_t want) {
+  if (v == nullptr) {
+    return false;
+  }
+  if (v->type() == JsonValue::Type::kUint) {
+    return v->AsUint() == want;
+  }
+  if (v->type() == JsonValue::Type::kInt) {
+    return v->AsInt() >= 0 && static_cast<uint64_t>(v->AsInt()) == want;
+  }
+  return false;
+}
+
+}  // namespace
+
+uint64_t CellConfigFingerprint(const SweepCell& cell) {
+  std::string text = ScenarioJson(cell.scenario).Dump();
+  text += '\n';
+  text += cell.policy.Label();
+  if (cell.trace_cursors) {
+    text += "/trace";
+  }
+  return Fnv1a(text);
+}
+
+CellCache::CellCache(std::string dir, uint64_t config_hash)
+    : dir_(std::move(dir)),
+      config_hash_(config_hash != 0 ? config_hash : DefaultConfigHash()) {}
+
+uint64_t CellCache::DefaultConfigHash() { return Fnv1a(kCellCacheEngineVersion); }
+
+uint64_t CellCache::HashKey(const CellCacheKey& key) const {
+  uint64_t h = Fnv1a(key.sweep);
+  h = Fnv1a(key.cell_id, h);
+  h = Fnv1a(&key.derived_seed, sizeof(key.derived_seed), h);
+  const uint64_t quick = key.quick ? 1 : 0;
+  h = Fnv1a(&quick, sizeof(quick), h);
+  h = Fnv1a(&config_hash_, sizeof(config_hash_), h);
+  h = Fnv1a(&key.config_fingerprint, sizeof(key.config_fingerprint), h);
+  return h;
+}
+
+std::string CellCache::PathFor(const CellCacheKey& key) const {
+  return dir_ + "/" + key.sweep + "/" + HexHash(HashKey(key)) + ".json";
+}
+
+bool CellCache::Load(const CellCacheKey& key, CellResult* out) {
+  std::ifstream f(PathFor(key));
+  if (!f.good()) {
+    misses_.fetch_add(1);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  std::string error;
+  const JsonValue doc = JsonValue::Parse(buf.str(), &error);
+  if (!error.empty() || !doc.IsObject()) {
+    misses_.fetch_add(1);
+    return false;
+  }
+  // Verify the stored key tuple: a filename collision or a hand-copied
+  // entry must degrade to a miss, never to a wrong result.
+  const JsonValue* schema = doc.Find("cache_schema");
+  const JsonValue* sweep = doc.Find("sweep");
+  const JsonValue* cell = doc.Find("cell");
+  const JsonValue* seed = doc.Find("seed");
+  const JsonValue* quick = doc.Find("quick");
+  const JsonValue* config = doc.Find("config_hash");
+  const JsonValue* cell_config = doc.Find("cell_config");
+  const JsonValue* record = doc.Find("record");
+  if (!UintEquals(schema, kCellCacheSchemaVersion) ||
+      sweep == nullptr || !sweep->IsString() || sweep->AsString() != key.sweep ||
+      cell == nullptr || !cell->IsString() || cell->AsString() != key.cell_id ||
+      !UintEquals(seed, key.derived_seed) ||
+      quick == nullptr || !quick->IsBool() || quick->AsBool() != key.quick ||
+      !UintEquals(config, config_hash_) ||
+      !UintEquals(cell_config, key.config_fingerprint) ||
+      record == nullptr) {
+    misses_.fetch_add(1);
+    return false;
+  }
+  CellResult parsed;
+  if (!CellRecordFromJson(*record, &parsed, &error) || parsed.cell.id != key.cell_id) {
+    misses_.fetch_add(1);
+    return false;
+  }
+  *out = std::move(parsed);
+  hits_.fetch_add(1);
+  return true;
+}
+
+void CellCache::Store(const CellCacheKey& key, const CellResult& cell) {
+  const std::string path = PathFor(key);
+  std::error_code ec;
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
+  if (ec) {
+    return;
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("cache_schema", kCellCacheSchemaVersion)
+      .Set("sweep", key.sweep)
+      .Set("cell", key.cell_id)
+      .Set("seed", key.derived_seed)
+      .Set("quick", key.quick)
+      .Set("config_hash", config_hash_)
+      .Set("cell_config", key.config_fingerprint)
+      .Set("record", CellRecordJson(cell));
+
+  // Temp-file + rename keeps concurrent readers (and parallel shard
+  // processes sharing the directory) from ever seeing a torn entry. The
+  // temp name carries pid + thread id: thread ids alone are per-process
+  // values that collide across processes sharing a cache directory.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid())) + "." +
+      std::to_string(static_cast<unsigned long long>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  {
+    std::ofstream f(tmp);
+    if (!f.good()) {
+      return;
+    }
+    f << doc.Dump();
+    f.close();
+    if (!f.good()) {
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+  }
+}
+
+}  // namespace aql

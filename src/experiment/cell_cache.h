@@ -1,0 +1,99 @@
+// Content-addressed cell-result cache (`aql_bench --cache-dir`).
+//
+// Cells are pure functions of (scenario, policy, derived seed), so a sweep
+// never needs to recompute a cell whose configuration it has run before —
+// across repeats of a run, across shard/merge pipelines, and across
+// commits while the engine is unchanged. Entries live one-per-file under
+// the cache directory, addressed by a 64-bit FNV-1a hash of the key tuple
+//
+//   (sweep, cell-id, derived-seed, quick, config-hash, cell-config-fp)
+//
+// and store the complete serialized result (the fragment cell-record format
+// of src/experiment/merge.h), so a hit is bit-identical to recomputation.
+// The cell-config fingerprint (CellConfigFingerprint) hashes the cell's
+// expanded scenario description, policy label and trace flag, so editing a
+// sweep's cell parameters invalidates its entries even when the id stays;
+// configuration the fingerprint cannot see (machine/AQL knobs beyond the
+// scenario JSON and policy label, or simulation-code changes) still relies
+// on the engine-version bump below.
+// The sweep name is part of the key because cell ids are only unique within
+// a sweep; two sweeps that build equivalent rigs (fig5/table3 both use the
+// validation rig) still get separate entries, since neither ids nor the
+// serialized records carry enough configuration to prove cross-sweep cells
+// identical.
+//
+// Invalidation: the key's config-hash defaults to a fingerprint of the
+// engine version below — bump kCellCacheEngineVersion whenever simulation
+// behavior changes, or override SweepOptions::config_hash (e.g. in tests,
+// or to segregate caches across experimental builds). Stale or corrupt
+// entries are treated as misses, never as errors: every Load verifies the
+// stored key fields before trusting the record.
+//
+// Concurrency: distinct cells map to distinct files, and a store writes to
+// a temp file then renames, so parallel workers — and parallel shard
+// processes sharing one directory — stay safe.
+
+#ifndef AQLSCHED_SRC_EXPERIMENT_CELL_CACHE_H_
+#define AQLSCHED_SRC_EXPERIMENT_CELL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/experiment/sweep.h"
+
+namespace aql {
+
+// Bump on any change to simulation semantics or the record layout; doing so
+// orphans (not corrupts) every existing cache entry.
+inline constexpr const char* kCellCacheEngineVersion = "aql-cell-cache-v1";
+
+struct CellCacheKey {
+  std::string sweep;
+  std::string cell_id;
+  uint64_t derived_seed = 0;
+  bool quick = false;
+  uint64_t config_fingerprint = 0;  // CellConfigFingerprint(cell)
+};
+
+// Fingerprint of a cell's executable configuration: FNV-1a over the
+// serialized scenario description (ScenarioJson), the policy label and the
+// trace flag. Guards the cache against a sweep registration changing a
+// cell's parameters while keeping its id.
+uint64_t CellConfigFingerprint(const SweepCell& cell);
+
+class CellCache {
+ public:
+  // `config_hash` of 0 selects DefaultConfigHash().
+  CellCache(std::string dir, uint64_t config_hash);
+
+  // FNV-1a of kCellCacheEngineVersion.
+  static uint64_t DefaultConfigHash();
+
+  // Entry path for a key: <dir>/<sweep>/<16-hex-digit-hash>.json.
+  std::string PathFor(const CellCacheKey& key) const;
+
+  // Fills result + cursor_trace (not the cell configuration) on a hit.
+  // Absent, corrupt or key-mismatched entries count as misses.
+  bool Load(const CellCacheKey& key, CellResult* out);
+
+  // Persists a computed cell. Failures to write are silently ignored (the
+  // cache is an accelerator, not a store of record).
+  void Store(const CellCacheKey& key, const CellResult& cell);
+
+  uint64_t config_hash() const { return config_hash_; }
+  uint64_t hits() const { return hits_.load(); }
+  uint64_t misses() const { return misses_.load(); }
+
+ private:
+  uint64_t HashKey(const CellCacheKey& key) const;
+
+  std::string dir_;
+  uint64_t config_hash_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_EXPERIMENT_CELL_CACHE_H_

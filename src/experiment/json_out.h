@@ -1,11 +1,18 @@
-// Minimal ordered JSON emission for sweep results (BENCH_<name>.json).
+// Minimal ordered JSON emission and parsing for sweep results
+// (BENCH_<name>.json, shard fragments, cell-cache entries).
 //
-// JsonValue is a write-only document builder: objects keep insertion order so
-// output is stable, and numbers are printed with round-trip precision so two
-// runs producing bit-identical doubles serialize to byte-identical text. The
-// sweep engine uses this to make `aql_bench --jobs 1` and `--jobs N` output
-// comparable byte-for-byte (wall-clock timing is segregated behind
-// `include_timing`).
+// JsonValue started as a write-only document builder: objects keep insertion
+// order so output is stable, and numbers are printed with round-trip
+// precision so two runs producing bit-identical doubles serialize to
+// byte-identical text. The sweep engine uses this to make `aql_bench
+// --jobs 1` and `--jobs N` output comparable byte-for-byte (wall-clock
+// timing is segregated behind `include_timing`).
+//
+// The read side (Parse + accessors) exists for the shard/merge and
+// cell-cache pipelines, which re-ingest previously emitted documents.
+// Numbers round-trip bit-exactly: integers without '.'/'e' parse into the
+// int/uint arms, everything else goes through strtod against the same
+// shortest-round-trip text JsonNumber produced.
 
 #ifndef AQLSCHED_SRC_EXPERIMENT_JSON_OUT_H_
 #define AQLSCHED_SRC_EXPERIMENT_JSON_OUT_H_
@@ -33,7 +40,19 @@ class JsonValue {
   static JsonValue Object();
   static JsonValue Array();
 
+  // Parses a JSON document. On failure returns kNull and, when `error` is
+  // non-null, stores a message with the byte offset of the problem.
+  static JsonValue Parse(const std::string& text, std::string* error = nullptr);
+
   Type type() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsObject() const { return type_ == Type::kObject; }
+  bool IsArray() const { return type_ == Type::kArray; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsNumber() const {
+    return type_ == Type::kInt || type_ == Type::kUint || type_ == Type::kDouble;
+  }
 
   // Object member insertion (keeps insertion order, aborts on non-objects).
   JsonValue& Set(const std::string& key, JsonValue value);
@@ -42,6 +61,23 @@ class JsonValue {
   JsonValue& Push(JsonValue value);
 
   size_t size() const;
+
+  // --- read accessors (for parsed documents) ---
+
+  // Object member lookup; nullptr when absent (aborts on non-objects).
+  const JsonValue* Find(const std::string& key) const;
+  // Array elements (aborts on non-arrays).
+  const std::vector<JsonValue>& Items() const;
+  // Object members in document order (aborts on non-objects).
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const;
+  // Typed scalar reads; abort on a type mismatch. AsDouble/AsInt/AsUint
+  // accept any numeric arm (the writer emits integral doubles as bare
+  // integers, so readers must not depend on the arm).
+  const std::string& AsString() const;
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt() const;
+  uint64_t AsUint() const;
 
   // Serializes with 2-space indentation and a trailing newline at top level.
   std::string Dump() const;

@@ -1,0 +1,649 @@
+#include "src/experiment/merge.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/experiment/registry.h"
+#include "src/sim/check.h"
+
+namespace aql {
+
+namespace {
+
+JsonValue MetricsJson(const std::map<std::string, double>& metrics) {
+  JsonValue out = JsonValue::Object();
+  for (const auto& [k, v] : metrics) {
+    out.Set(k, v);
+  }
+  return out;
+}
+
+bool MetricsFromJson(const JsonValue& doc, std::map<std::string, double>* out,
+                     std::string* error) {
+  if (!doc.IsObject()) {
+    *error = "metrics must be an object";
+    return false;
+  }
+  for (const auto& [k, v] : doc.Members()) {
+    if (!v.IsNumber()) {
+      *error = "metric '" + k + "' is not a number";
+      return false;
+    }
+    (*out)[k] = v.AsDouble();
+  }
+  return true;
+}
+
+// Fetches a required member, with a readable error on absence.
+const JsonValue* Req(const JsonValue& doc, const std::string& key, std::string* error) {
+  if (!doc.IsObject()) {
+    *error = "expected an object around '" + key + "'";
+    return nullptr;
+  }
+  const JsonValue* v = doc.Find(key);
+  if (v == nullptr) {
+    *error = "missing field '" + key + "'";
+  }
+  return v;
+}
+
+// Typed required-field readers. Fragments and cache entries are external
+// input, so a type mismatch must surface as a readable error, never as an
+// accessor CHECK-abort.
+bool ReadString(const JsonValue& doc, const std::string& key, std::string* out,
+                std::string* error) {
+  const JsonValue* v = Req(doc, key, error);
+  if (v == nullptr) {
+    return false;
+  }
+  if (!v->IsString()) {
+    *error = "'" + key + "' must be a string";
+    return false;
+  }
+  *out = v->AsString();
+  return true;
+}
+
+bool ReadBool(const JsonValue& doc, const std::string& key, bool* out,
+              std::string* error) {
+  const JsonValue* v = Req(doc, key, error);
+  if (v == nullptr) {
+    return false;
+  }
+  if (!v->IsBool()) {
+    *error = "'" + key + "' must be a boolean";
+    return false;
+  }
+  *out = v->AsBool();
+  return true;
+}
+
+bool ReadDouble(const JsonValue& doc, const std::string& key, double* out,
+                std::string* error) {
+  const JsonValue* v = Req(doc, key, error);
+  if (v == nullptr) {
+    return false;
+  }
+  if (!v->IsNumber()) {
+    *error = "'" + key + "' must be a number";
+    return false;
+  }
+  *out = v->AsDouble();
+  return true;
+}
+
+bool IntValue(const JsonValue& v, int64_t* out) {
+  if (v.type() == JsonValue::Type::kInt) {
+    *out = v.AsInt();
+    return true;
+  }
+  if (v.type() == JsonValue::Type::kUint &&
+      v.AsUint() <= static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    *out = static_cast<int64_t>(v.AsUint());
+    return true;
+  }
+  return false;
+}
+
+bool ReadI64(const JsonValue& doc, const std::string& key, int64_t* out,
+             std::string* error) {
+  const JsonValue* v = Req(doc, key, error);
+  if (v == nullptr) {
+    return false;
+  }
+  if (!IntValue(*v, out)) {
+    *error = "'" + key + "' must be an integer";
+    return false;
+  }
+  return true;
+}
+
+bool ReadU64(const JsonValue& doc, const std::string& key, uint64_t* out,
+             std::string* error) {
+  const JsonValue* v = Req(doc, key, error);
+  if (v == nullptr) {
+    return false;
+  }
+  if (v->type() == JsonValue::Type::kUint) {
+    *out = v->AsUint();
+    return true;
+  }
+  if (v->type() == JsonValue::Type::kInt && v->AsInt() >= 0) {
+    *out = static_cast<uint64_t>(v->AsInt());
+    return true;
+  }
+  *error = "'" + key + "' must be a non-negative integer";
+  return false;
+}
+
+}  // namespace
+
+JsonValue CellRecordJson(const CellResult& cell) {
+  const ScenarioResult& r = cell.result;
+
+  JsonValue reports = JsonValue::Array();
+  for (const PerfReport& report : r.reports) {
+    JsonValue rj = JsonValue::Object();
+    rj.Set("workload", report.workload_name).Set("metrics", MetricsJson(report.metrics));
+    reports.Push(std::move(rj));
+  }
+
+  JsonValue groups = JsonValue::Array();
+  for (const GroupPerf& g : r.groups) {
+    JsonValue gj = JsonValue::Object();
+    gj.Set("name", g.name)
+        .Set("vcpus", g.vcpus)
+        .Set("primary", g.primary)
+        .Set("metrics", MetricsJson(g.metrics));
+    groups.Push(std::move(gj));
+  }
+
+  JsonValue result = JsonValue::Object();
+  result.Set("scenario", r.scenario)
+      .Set("policy", r.policy)
+      .Set("measure_window_ns", r.measure_window)
+      .Set("cpu_utilization", r.cpu_utilization)
+      .Set("controller_overhead_ns", r.controller_overhead)
+      .Set("events_processed", r.events_processed)
+      .Set("plan_applications", r.plan_applications)
+      .Set("wall_seconds", r.wall_seconds)
+      .Set("reports", std::move(reports))
+      .Set("groups", std::move(groups));
+
+  if (!r.detected_types.empty()) {
+    JsonValue types = JsonValue::Object();
+    for (const auto& [vcpu, type] : r.detected_types) {
+      types.Set(std::to_string(vcpu), VcpuTypeName(type));
+    }
+    result.Set("detected_types", std::move(types));
+  }
+
+  if (!r.pools.empty()) {
+    JsonValue pools = JsonValue::Array();
+    for (const ScenarioResult::PoolInfo& p : r.pools) {
+      JsonValue ids = JsonValue::Array();
+      for (int pcpu : p.pcpus) {
+        ids.Push(pcpu);
+      }
+      JsonValue vids = JsonValue::Array();
+      for (int vcpu : p.vcpus) {
+        vids.Push(vcpu);
+      }
+      JsonValue pj = JsonValue::Object();
+      pj.Set("label", p.label)
+          .Set("quantum_ns", p.quantum)
+          .Set("pcpus", std::move(ids))
+          .Set("vcpus", std::move(vids));
+      pools.Push(std::move(pj));
+    }
+    result.Set("pools", std::move(pools));
+  }
+
+  JsonValue rec = JsonValue::Object();
+  rec.Set("id", cell.cell.id).Set("result", std::move(result));
+
+  if (!cell.cursor_trace.empty()) {
+    JsonValue trace = JsonValue::Array();
+    for (const CursorSet& c : cell.cursor_trace) {
+      JsonValue sample = JsonValue::Array();
+      sample.Push(c.io).Push(c.conspin).Push(c.lolcf).Push(c.llcf).Push(c.llco);
+      sample.Push(c.membw).Push(c.remote).Push(c.bursty);
+      trace.Push(std::move(sample));
+    }
+    rec.Set("cursor_trace", std::move(trace));
+  }
+  return rec;
+}
+
+bool CellRecordFromJson(const JsonValue& record, CellResult* out, std::string* error) {
+  const JsonValue* id = Req(record, "id", error);
+  const JsonValue* res = Req(record, "result", error);
+  if (id == nullptr || res == nullptr) {
+    return false;
+  }
+  if (!id->IsString()) {
+    *error = "cell id must be a string";
+    return false;
+  }
+  out->cell.id = id->AsString();
+  ScenarioResult& r = out->result;
+
+  int64_t i64 = 0;
+  if (!ReadString(*res, "scenario", &r.scenario, error) ||
+      !ReadString(*res, "policy", &r.policy, error) ||
+      !ReadI64(*res, "measure_window_ns", &r.measure_window, error) ||
+      !ReadDouble(*res, "cpu_utilization", &r.cpu_utilization, error) ||
+      !ReadI64(*res, "controller_overhead_ns", &r.controller_overhead, error) ||
+      !ReadU64(*res, "events_processed", &r.events_processed, error) ||
+      !ReadU64(*res, "plan_applications", &r.plan_applications, error) ||
+      !ReadDouble(*res, "wall_seconds", &r.wall_seconds, error)) {
+    return false;
+  }
+
+  const JsonValue* v = nullptr;
+  if ((v = Req(*res, "reports", error)) == nullptr) return false;
+  if (!v->IsArray()) {
+    *error = "'reports' must be an array";
+    return false;
+  }
+  for (const JsonValue& rj : v->Items()) {
+    PerfReport report;
+    if (!ReadString(rj, "workload", &report.workload_name, error)) return false;
+    const JsonValue* metrics = Req(rj, "metrics", error);
+    if (metrics == nullptr || !MetricsFromJson(*metrics, &report.metrics, error)) {
+      return false;
+    }
+    r.reports.push_back(std::move(report));
+  }
+
+  if ((v = Req(*res, "groups", error)) == nullptr) return false;
+  if (!v->IsArray()) {
+    *error = "'groups' must be an array";
+    return false;
+  }
+  for (const JsonValue& gj : v->Items()) {
+    GroupPerf g;
+    if (!ReadString(gj, "name", &g.name, error) ||
+        !ReadI64(gj, "vcpus", &i64, error) ||
+        !ReadDouble(gj, "primary", &g.primary, error)) {
+      return false;
+    }
+    g.vcpus = static_cast<int>(i64);
+    const JsonValue* metrics = Req(gj, "metrics", error);
+    if (metrics == nullptr || !MetricsFromJson(*metrics, &g.metrics, error)) {
+      return false;
+    }
+    r.groups.push_back(std::move(g));
+  }
+
+  if (const JsonValue* types = res->Find("detected_types")) {
+    if (!types->IsObject()) {
+      *error = "'detected_types' must be an object";
+      return false;
+    }
+    for (const auto& [key, value] : types->Members()) {
+      VcpuType type;
+      char* end = nullptr;
+      const long vcpu = std::strtol(key.c_str(), &end, 10);
+      if (key.empty() || *end != '\0' || !value.IsString() ||
+          !VcpuTypeFromName(value.AsString(), &type)) {
+        *error = "bad detected-type entry for vCPU '" + key + "'";
+        return false;
+      }
+      r.detected_types[static_cast<int>(vcpu)] = type;
+    }
+  }
+
+  if (const JsonValue* pools = res->Find("pools")) {
+    if (!pools->IsArray()) {
+      *error = "'pools' must be an array";
+      return false;
+    }
+    for (const JsonValue& pj : pools->Items()) {
+      ScenarioResult::PoolInfo pool;
+      if (!ReadString(pj, "label", &pool.label, error) ||
+          !ReadI64(pj, "quantum_ns", &pool.quantum, error)) {
+        return false;
+      }
+      for (const char* key : {"pcpus", "vcpus"}) {
+        const JsonValue* ids = Req(pj, key, error);
+        if (ids == nullptr) {
+          return false;
+        }
+        if (!ids->IsArray()) {
+          *error = std::string("pool '") + key + "' must be an array";
+          return false;
+        }
+        for (const JsonValue& p : ids->Items()) {
+          if (!IntValue(p, &i64)) {
+            *error = std::string("pool '") + key + "' entries must be integers";
+            return false;
+          }
+          (key[0] == 'p' ? pool.pcpus : pool.vcpus).push_back(static_cast<int>(i64));
+        }
+      }
+      r.pools.push_back(std::move(pool));
+    }
+  }
+
+  if (const JsonValue* trace = record.Find("cursor_trace")) {
+    if (!trace->IsArray()) {
+      *error = "'cursor_trace' must be an array";
+      return false;
+    }
+    for (const JsonValue& sample : trace->Items()) {
+      if (!sample.IsArray() || sample.size() != 8) {
+        *error = "cursor_trace samples must be 8-element arrays";
+        return false;
+      }
+      const std::vector<JsonValue>& s = sample.Items();
+      for (const JsonValue& x : s) {
+        if (!x.IsNumber()) {
+          *error = "cursor_trace samples must contain numbers";
+          return false;
+        }
+      }
+      CursorSet c;
+      c.io = s[0].AsDouble();
+      c.conspin = s[1].AsDouble();
+      c.lolcf = s[2].AsDouble();
+      c.llcf = s[3].AsDouble();
+      c.llco = s[4].AsDouble();
+      c.membw = s[5].AsDouble();
+      c.remote = s[6].AsDouble();
+      c.bursty = s[7].AsDouble();
+      out->cursor_trace.push_back(c);
+    }
+  }
+  return true;
+}
+
+JsonValue FragmentJson(const SweepResult& result) {
+  JsonValue shard = JsonValue::Object();
+  shard.Set("index", result.shard_index > 0 ? result.shard_index : 1)
+      .Set("count", result.shard_count > 0 ? result.shard_count : 1)
+      .Set("cells_total", static_cast<int64_t>(result.total_cells));
+
+  JsonValue opts = JsonValue::Object();
+  opts.Set("quick", result.options.quick).Set("seed_salt", result.options.seed_salt);
+
+  JsonValue cells = JsonValue::Array();
+  for (const CellResult& c : result.cells) {
+    cells.Push(CellRecordJson(c));
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("fragment_schema", kFragmentSchemaVersion)
+      .Set("bench", result.name)
+      .Set("description", result.description)
+      .Set("options", std::move(opts))
+      .Set("shard", std::move(shard))
+      .Set("cells", std::move(cells));
+  return doc;
+}
+
+std::string WriteFragmentJson(const SweepResult& result, const std::string& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  const int index = result.shard_index > 0 ? result.shard_index : 1;
+  const int count = result.shard_count > 0 ? result.shard_count : 1;
+  const std::string path = out_dir + "/BENCH_" + result.name + ".shard" +
+                           std::to_string(index) + "of" + std::to_string(count) + ".json";
+  std::ofstream f(path);
+  AQL_CHECK_MSG(f.good(), ("cannot write " + path).c_str());
+  f << FragmentJson(result).Dump();
+  f.close();
+  AQL_CHECK_MSG(f.good(), ("failed writing " + path).c_str());
+  return path;
+}
+
+namespace {
+
+struct FragmentHeader {
+  std::string bench;
+  bool quick = false;
+  uint64_t seed_salt = 0;
+  int shard_index = 0;
+  int shard_count = 0;
+  size_t cells_total = 0;
+};
+
+bool ReadHeader(const JsonValue& doc, const std::string& label, FragmentHeader* out,
+                std::string* error) {
+  std::string field_error;
+  int64_t schema = 0;
+  if (!doc.IsObject() || !ReadI64(doc, "fragment_schema", &schema, &field_error) ||
+      schema != kFragmentSchemaVersion) {
+    *error = label + ": not a fragment with schema version " +
+             std::to_string(kFragmentSchemaVersion);
+    return false;
+  }
+  const JsonValue* opts = Req(doc, "options", &field_error);
+  const JsonValue* shard = Req(doc, "shard", &field_error);
+  int64_t index = 0;
+  int64_t count = 0;
+  uint64_t total = 0;
+  if (!ReadString(doc, "bench", &out->bench, &field_error) ||  //
+      opts == nullptr || shard == nullptr ||
+      !ReadBool(*opts, "quick", &out->quick, &field_error) ||
+      !ReadU64(*opts, "seed_salt", &out->seed_salt, &field_error) ||
+      !ReadI64(*shard, "index", &index, &field_error) ||
+      !ReadI64(*shard, "count", &count, &field_error) ||
+      !ReadU64(*shard, "cells_total", &total, &field_error)) {
+    *error = label + ": " + field_error;
+    return false;
+  }
+  out->shard_index = static_cast<int>(index);
+  out->shard_count = static_cast<int>(count);
+  out->cells_total = static_cast<size_t>(total);
+  if (out->shard_count < 1 || out->shard_index < 1 ||
+      out->shard_index > out->shard_count) {
+    *error = label + ": bad shard geometry " + std::to_string(out->shard_index) + "/" +
+             std::to_string(out->shard_count);
+    return false;
+  }
+  return true;
+}
+
+MergeOutcome MergeImpl(const std::vector<JsonValue>& docs,
+                       const std::vector<std::string>& labels) {
+  MergeOutcome out;
+  if (docs.empty()) {
+    out.error = "no fragments to merge";
+    return out;
+  }
+
+  std::vector<FragmentHeader> headers(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (!ReadHeader(docs[i], labels[i], &headers[i], &out.error)) {
+      return out;
+    }
+  }
+  const FragmentHeader& first = headers[0];
+  std::map<int, size_t> shard_seen;  // shard index -> fragment position
+  for (size_t i = 0; i < headers.size(); ++i) {
+    const FragmentHeader& h = headers[i];
+    if (h.bench != first.bench) {
+      out.error = labels[i] + ": sweep '" + h.bench + "' does not match '" +
+                  first.bench + "' (merge one sweep at a time)";
+      return out;
+    }
+    if (h.quick != first.quick || h.seed_salt != first.seed_salt) {
+      out.error = labels[i] + ": options (quick/seed_salt) differ from " + labels[0] +
+                  "; fragments must come from identically configured runs";
+      return out;
+    }
+    if (h.shard_count != first.shard_count || h.cells_total != first.cells_total) {
+      out.error = labels[i] + ": shard geometry differs from " + labels[0];
+      return out;
+    }
+    const auto [it, inserted] = shard_seen.emplace(h.shard_index, i);
+    if (!inserted) {
+      out.error = labels[i] + ": shard " + std::to_string(h.shard_index) + "/" +
+                  std::to_string(h.shard_count) + " already provided by " +
+                  labels[it->second];
+      return out;
+    }
+  }
+
+  const SweepSpec* spec = SweepRegistry::Instance().Find(first.bench);
+  if (spec == nullptr) {
+    out.error = "unknown sweep '" + first.bench +
+                "' (merge must run in a binary that registers it)";
+    return out;
+  }
+
+  SweepOptions options;
+  options.quick = first.quick;
+  options.seed_salt = first.seed_salt;
+  options.jobs = 0;  // merge executes nothing
+
+  std::vector<SweepCell> cells = ExpandCells(*spec, options);
+  if (cells.size() != first.cells_total) {
+    out.error = "fragments record " + std::to_string(first.cells_total) +
+                " cells total but this binary expands '" + first.bench + "' to " +
+                std::to_string(cells.size()) + " — mismatched binary or options";
+    return out;
+  }
+
+  std::map<std::string, size_t> index_of;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    index_of.emplace(cells[i].id, i);
+  }
+
+  std::vector<CellResult> results(cells.size());
+  std::vector<bool> filled(cells.size(), false);
+  for (size_t d = 0; d < docs.size(); ++d) {
+    std::string field_error;
+    const JsonValue* records = Req(docs[d], "cells", &field_error);
+    if (records == nullptr || !records->IsArray()) {
+      out.error = labels[d] + ": " +
+                  (records == nullptr ? field_error : "'cells' must be an array");
+      return out;
+    }
+    for (const JsonValue& record : records->Items()) {
+      CellResult cell;
+      if (!CellRecordFromJson(record, &cell, &field_error)) {
+        out.error = labels[d] + ": " + field_error;
+        return out;
+      }
+      const auto it = index_of.find(cell.cell.id);
+      if (it == index_of.end()) {
+        out.error = labels[d] + ": cell '" + cell.cell.id + "' is not in sweep '" +
+                    first.bench + "' (mismatched binary or options?)";
+        return out;
+      }
+      if (filled[it->second]) {
+        out.error = labels[d] + ": cell '" + cell.cell.id +
+                    "' appears in more than one fragment (overlapping shards)";
+        return out;
+      }
+      cell.cell = cells[it->second];
+      results[it->second] = std::move(cell);
+      filled[it->second] = true;
+    }
+  }
+
+  size_t missing = 0;
+  std::string examples;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (!filled[i]) {
+      ++missing;
+      if (missing <= 5) {
+        examples += (missing > 1 ? ", " : "") + cells[i].id;
+      }
+    }
+  }
+  if (missing > 0) {
+    out.error = std::to_string(missing) + " of " + std::to_string(cells.size()) +
+                " cells missing from the fragments (e.g. " + examples +
+                ") — provide every shard exactly once";
+    return out;
+  }
+
+  // Union reassembled in expansion order; re-render exactly as an unsharded
+  // run would.
+  SweepContext ctx(options, std::move(results));
+  if (spec->render) {
+    spec->render(ctx);
+  }
+
+  SweepResult& merged = out.result;
+  merged.name = spec->name;
+  merged.description = spec->description;
+  merged.options = options;
+  merged.cells = ctx.TakeCells();
+  merged.text = std::move(ctx.text);
+  merged.tables = std::move(ctx.tables);
+  merged.summary = std::move(ctx.summary);
+  merged.notes = std::move(ctx.notes);
+  merged.timings = std::move(ctx.timings);
+  merged.total_cells = merged.cells.size();
+  // Wall time of a merged sweep is the sum of its cells' compute times (the
+  // fragments may have run on different machines; there is no single wall).
+  double wall = 0;
+  for (const CellResult& c : merged.cells) {
+    wall += c.result.wall_seconds;
+  }
+  merged.wall_seconds = wall;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+MergeOutcome MergeFragmentDocs(const std::vector<JsonValue>& docs) {
+  std::vector<std::string> labels;
+  labels.reserve(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    labels.push_back("fragment #" + std::to_string(i + 1));
+  }
+  return MergeImpl(docs, labels);
+}
+
+MergeOutcome MergeFragmentDocs(const std::vector<JsonValue>& docs,
+                               const std::vector<std::string>& labels) {
+  AQL_CHECK(docs.size() == labels.size());
+  return MergeImpl(docs, labels);
+}
+
+bool LoadFragmentFile(const std::string& path, JsonValue* doc, std::string* error) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    *error = path + ": cannot read";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  std::string parse_error;
+  *doc = JsonValue::Parse(buf.str(), &parse_error);
+  if (!parse_error.empty()) {
+    *error = path + ": " + parse_error;
+    return false;
+  }
+  if (!doc->IsObject()) {
+    *error = path + ": not a JSON object";
+    return false;
+  }
+  return true;
+}
+
+MergeOutcome MergeFragmentFiles(const std::vector<std::string>& paths) {
+  MergeOutcome out;
+  std::vector<JsonValue> docs;
+  docs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    JsonValue doc;
+    if (!LoadFragmentFile(path, &doc, &out.error)) {
+      return out;
+    }
+    docs.push_back(std::move(doc));
+  }
+  return MergeImpl(docs, paths);
+}
+
+}  // namespace aql

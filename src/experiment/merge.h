@@ -1,0 +1,76 @@
+// Shard fragments and their merge: the distribution layer of the sweep
+// engine.
+//
+// A sharded run (`aql_bench --shard K/N`) executes a deterministic slice of
+// a sweep's cells and writes a *fragment* — the full serialized result of
+// every executed cell, without the render step. MergeFragments reassembles
+// the union: it re-expands the cell list from the registered SweepSpec
+// (build hooks are deterministic in the options recorded in the fragment),
+// grafts each deserialized result onto its rebuilt cell, re-runs the render
+// step, and hands back a SweepResult whose stable JSON projection is
+// byte-identical to an unsharded `--stable-json` run. Overlapping, unknown
+// or missing cells are hard errors — a merge either reproduces the
+// unsharded run exactly or refuses.
+//
+// The cell-record serialization here is also the cell cache's storage
+// format (src/experiment/cell_cache.h): both re-ingest results that must be
+// bit-identical to freshly computed ones, which JsonValue's round-trip
+// number formatting guarantees.
+
+#ifndef AQLSCHED_SRC_EXPERIMENT_MERGE_H_
+#define AQLSCHED_SRC_EXPERIMENT_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/experiment/json_out.h"
+#include "src/experiment/sweep.h"
+
+namespace aql {
+
+// Bumped whenever the fragment/cell-record layout changes incompatibly.
+inline constexpr int kFragmentSchemaVersion = 1;
+
+// Serializes one executed cell: id + complete ScenarioResult + cursor
+// trace. The scenario/policy *configuration* is deliberately absent — the
+// merge side rebuilds it through the registered build hook, which keeps
+// fragments small and makes configuration drift (different binary, salt or
+// quick flag) detectable instead of silently mergeable.
+JsonValue CellRecordJson(const CellResult& cell);
+
+// Inverse of CellRecordJson. Fills result + cursor_trace + cell.id only
+// (the caller grafts the rebuilt SweepCell). Returns false with a message
+// on malformed records.
+bool CellRecordFromJson(const JsonValue& record, CellResult* out, std::string* error);
+
+// Fragment document for a sharded SweepResult.
+JsonValue FragmentJson(const SweepResult& result);
+
+// Writes BENCH_<name>.shard<K>of<N>.json under `out_dir`; returns the path.
+std::string WriteFragmentJson(const SweepResult& result, const std::string& out_dir);
+
+struct MergeOutcome {
+  bool ok = false;
+  std::string error;    // human-readable reason when !ok
+  SweepResult result;   // rendered union when ok
+};
+
+// Merges parsed fragment documents of ONE sweep (callers group by the
+// "bench" field first). Validates schema version, matching options and
+// shard geometry, then enforces the exact-partition contract on cell ids.
+// The second overload names each document (e.g. its file path) in error
+// messages instead of "fragment #i".
+MergeOutcome MergeFragmentDocs(const std::vector<JsonValue>& docs);
+MergeOutcome MergeFragmentDocs(const std::vector<JsonValue>& docs,
+                               const std::vector<std::string>& labels);
+
+// Reads and parses one fragment (or any JSON) file. Returns false with a
+// path-prefixed message on IO or parse errors.
+bool LoadFragmentFile(const std::string& path, JsonValue* doc, std::string* error);
+
+// File-path convenience wrapper around MergeFragmentDocs.
+MergeOutcome MergeFragmentFiles(const std::vector<std::string>& paths);
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_EXPERIMENT_MERGE_H_

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <thread>
 
+#include "src/experiment/cell_cache.h"
 #include "src/sim/check.h"
 #include "src/sim/rng.h"
 
@@ -96,11 +98,33 @@ CellResult RunCell(const SweepCell& cell) {
   return out;
 }
 
+// Cache-aware cell execution: cells are pure functions of their (already
+// seed-derived) configuration, so a valid cache entry substitutes for the
+// simulation bit-for-bit (the entry stores the full serialized result).
+CellResult RunOrLoadCell(const std::string& sweep, const SweepCell& cell,
+                         const SweepOptions& options, CellCache* cache) {
+  if (cache == nullptr) {
+    return RunCell(cell);
+  }
+  CellCacheKey key;
+  key.sweep = sweep;
+  key.cell_id = cell.id;
+  key.derived_seed = cell.scenario.machine.seed;
+  key.quick = options.quick;
+  key.config_fingerprint = CellConfigFingerprint(cell);
+  CellResult out;
+  if (cache->Load(key, &out)) {
+    out.cell = cell;
+    return out;
+  }
+  out = RunCell(cell);
+  cache->Store(key, out);
+  return out;
+}
+
 }  // namespace
 
-SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
-  const auto wall_start = std::chrono::steady_clock::now();
-
+std::vector<SweepCell> ExpandCells(const SweepSpec& spec, const SweepOptions& options) {
   std::vector<SweepCell> cells = spec.build(options);
   AQL_CHECK_MSG(!cells.empty(), "sweep expanded to zero cells");
   std::set<std::string> ids;
@@ -111,23 +135,58 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
     cell.scenario.machine.seed =
         Rng::DeriveSeed(cell.scenario.machine.seed, options.seed_salt);
   }
+  return cells;
+}
+
+bool CellInShard(size_t index, int shard_index, int shard_count) {
+  if (shard_count <= 0) {
+    return true;
+  }
+  return static_cast<int>(index % static_cast<size_t>(shard_count)) == shard_index - 1;
+}
+
+SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const bool sharded = options.shard_count > 0;
+  if (sharded) {
+    AQL_CHECK_MSG(options.shard_index >= 1 && options.shard_index <= options.shard_count,
+                  "shard index out of range (want 1 <= K <= N)");
+  }
+
+  std::vector<SweepCell> cells = ExpandCells(spec, options);
+  const size_t total_cells = cells.size();
+  if (sharded) {
+    std::vector<SweepCell> mine;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (CellInShard(i, options.shard_index, options.shard_count)) {
+        mine.push_back(std::move(cells[i]));
+      }
+    }
+    cells = std::move(mine);  // may legitimately be empty (N > total cells)
+  }
+
+  std::unique_ptr<CellCache> cache;
+  if (!options.cache_dir.empty()) {
+    cache = std::make_unique<CellCache>(options.cache_dir, options.config_hash);
+  }
 
   std::vector<CellResult> results(cells.size());
   const size_t jobs =
       std::min<size_t>(cells.size(), options.jobs < 1 ? 1 : options.jobs);
   if (jobs <= 1) {
     for (size_t i = 0; i < cells.size(); ++i) {
-      results[i] = RunCell(cells[i]);
+      results[i] = RunOrLoadCell(spec.name, cells[i], options, cache.get());
     }
   } else {
     std::atomic<size_t> next{0};
-    auto worker = [&cells, &results, &next] {
+    auto worker = [&spec, &options, &cells, &results, &next, &cache] {
       for (;;) {
         const size_t i = next.fetch_add(1);
         if (i >= cells.size()) {
           return;
         }
-        results[i] = RunCell(cells[i]);
+        results[i] = RunOrLoadCell(spec.name, cells[i], options, cache.get());
       }
     };
     std::vector<std::thread> pool;
@@ -141,7 +200,10 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
   }
 
   SweepContext ctx(options, std::move(results));
-  if (spec.render) {
+  // A shard holds an arbitrary subset of cells, so the render step (which
+  // addresses cells by id across the whole sweep) only runs unsharded;
+  // MergeFragments re-renders over the reassembled union.
+  if (!sharded && spec.render) {
     spec.render(ctx);
   }
 
@@ -155,12 +217,19 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
   out.summary = std::move(ctx.summary);
   out.notes = std::move(ctx.notes);
   out.timings = std::move(ctx.timings);
+  out.shard_index = sharded ? options.shard_index : 0;
+  out.shard_count = sharded ? options.shard_count : 0;
+  out.total_cells = total_cells;
+  if (cache != nullptr) {
+    // Cache effectiveness is run-environment state, not simulation output,
+    // so it rides with the wall-clock timings (excluded from stable JSON).
+    out.timings.emplace_back("cache_hits", static_cast<double>(cache->hits()));
+    out.timings.emplace_back("cache_misses", static_cast<double>(cache->misses()));
+  }
   const auto wall_end = std::chrono::steady_clock::now();
   out.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
   return out;
 }
-
-namespace {
 
 JsonValue ScenarioJson(const ScenarioSpec& spec) {
   JsonValue vms = JsonValue::Array();
@@ -184,6 +253,8 @@ JsonValue ScenarioJson(const ScenarioSpec& spec) {
       .Set("vms", std::move(vms));
   return s;
 }
+
+namespace {
 
 JsonValue GroupJson(const GroupPerf& g) {
   JsonValue metrics = JsonValue::Object();
@@ -213,6 +284,14 @@ JsonValue CellJson(const CellResult& cell, bool include_timing) {
       .Set("controller_overhead_ms", ToMs(r.controller_overhead))
       .Set("events_processed", r.events_processed)
       .Set("groups", std::move(groups));
+  if (!r.detected_types.empty()) {
+    // std::map keys iterate sorted, so emission order is deterministic.
+    JsonValue types = JsonValue::Object();
+    for (const auto& [vcpu, type] : r.detected_types) {
+      types.Set(std::to_string(vcpu), VcpuTypeName(type));
+    }
+    out.Set("detected_types", std::move(types));
+  }
   if (!r.pools.empty()) {
     JsonValue pools = JsonValue::Array();
     for (const ScenarioResult::PoolInfo& p : r.pools) {

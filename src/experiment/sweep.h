@@ -35,6 +35,21 @@ struct SweepOptions {
   // same salt yields the same cell streams, so paired comparisons (policy A
   // vs B on one scenario seed) stay variance-reduced.
   uint64_t seed_salt = 0x51eedca11ULL;
+  // Sharded execution (`--shard K/N`): run only the cells whose expansion
+  // index i satisfies i % shard_count == shard_index - 1 (round-robin, so
+  // shards are balanced regardless of how a sweep orders its cells).
+  // shard_count == 0 means unsharded. Sharded runs skip the render step —
+  // their output is a fragment to be combined by MergeFragments, which
+  // re-renders over the union (src/experiment/merge.h).
+  int shard_index = 0;  // 1-based
+  int shard_count = 0;
+  // Cell-result cache directory (`--cache-dir`); empty disables caching.
+  // See src/experiment/cell_cache.h for the key and invalidation contract.
+  std::string cache_dir;
+  // Overrides the cache's configuration fingerprint; 0 means "use the
+  // engine default" (CellCache::DefaultConfigHash). Changing it invalidates
+  // every cached cell.
+  uint64_t config_hash = 0;
 
   // Window scaling helpers used by sweep builders: full durations in normal
   // mode, ~10x shorter in quick mode with floors that keep the vTRS
@@ -114,22 +129,43 @@ struct SweepResult {
   std::string description;
   SweepOptions options;
   std::vector<CellResult> cells;
-  // Render output.
+  // Render output (empty for sharded runs; fragments carry cells only).
   std::string text;
   std::vector<std::pair<std::string, TextTable>> tables;
   std::vector<std::pair<std::string, double>> summary;
   std::vector<std::pair<std::string, std::string>> notes;
   std::vector<std::pair<std::string, double>> timings;
   double wall_seconds = 0.0;  // whole sweep, including render
+  // Shard bookkeeping: which slice this run executed (0/0 = unsharded) and
+  // how many cells the full expansion has (merge completeness check).
+  int shard_index = 0;
+  int shard_count = 0;
+  size_t total_cells = 0;
 };
 
-// Expands, executes (on `options.jobs` workers) and renders one sweep.
+// Expands `spec` into its full cell list (deterministic in `options`),
+// verifies cell-id uniqueness, and derives each cell's seed from the
+// declared scenario seed + options.seed_salt. Shared by RunSweep and
+// MergeFragments so both sides agree on cell identity and order.
+std::vector<SweepCell> ExpandCells(const SweepSpec& spec, const SweepOptions& options);
+
+// Round-robin shard membership for expansion index `index` (see
+// SweepOptions::shard_index). `shard_index` is 1-based.
+bool CellInShard(size_t index, int shard_index, int shard_count);
+
+// Expands, executes (on `options.jobs` workers, honoring the shard slice
+// and the cell cache when configured) and renders one sweep.
 SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options);
 
 // JSON document for a finished sweep. With `include_timing` false all
 // wall-clock fields are omitted and the output is a pure function of the
 // simulation results (byte-identical across runs and thread counts).
 JsonValue SweepJson(const SweepResult& result, bool include_timing = true);
+
+// The scenario-description object used inside cell JSON (name, seed,
+// pcpus, windows, VM list). Also the basis of the cell cache's
+// configuration fingerprint (src/experiment/cell_cache.h).
+JsonValue ScenarioJson(const ScenarioSpec& spec);
 
 // Writes BENCH_<name>.json under `out_dir` (created if needed); returns the
 // file path.

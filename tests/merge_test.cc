@@ -1,0 +1,331 @@
+// Tests for the shard/merge pipeline and the cell-result cache: fragment
+// round-tripping, the exact-partition contract, byte-identity of merged
+// output against unsharded runs for every registered sweep, and cache
+// hit/invalidation semantics.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/experiment/cell_cache.h"
+#include "src/experiment/json_out.h"
+#include "src/experiment/merge.h"
+#include "src/experiment/registry.h"
+#include "src/experiment/sweep.h"
+
+namespace aql {
+namespace {
+
+// A registered sweep's quick run is a few dozen milliseconds per cell; the
+// cache makes the repeated shard runs in the byte-identity test nearly
+// free, so exercising every registered sweep stays CI-cheap.
+std::filesystem::path FreshTempDir(const std::string& name) {
+  const std::filesystem::path dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+SweepSpec TinySpec() {
+  SweepSpec spec;
+  spec.name = "tiny_merge";
+  spec.description = "merge test sweep";
+  spec.build = [](const SweepOptions&) {
+    std::vector<SweepCell> cells;
+    for (int s = 1; s <= 2; ++s) {
+      for (const char* pol : {"xen", "aql"}) {
+        SweepCell cell;
+        cell.id = "S" + std::to_string(s) + "/" + pol;
+        cell.scenario = ColocationScenario(s);
+        cell.scenario.warmup = Ms(300);
+        cell.scenario.measure = Ms(400);
+        cell.policy =
+            std::string(pol) == "aql" ? PolicySpec::Aql() : PolicySpec::Xen();
+        cell.trace_cursors = true;
+        cells.push_back(std::move(cell));
+      }
+    }
+    return cells;
+  };
+  spec.render = [](SweepContext& ctx) {
+    ctx.Summary("cells", static_cast<double>(ctx.cells().size()));
+  };
+  return spec;
+}
+
+double TimingValue(const SweepResult& r, const std::string& key) {
+  for (const auto& [k, v] : r.timings) {
+    if (k == key) {
+      return v;
+    }
+  }
+  ADD_FAILURE() << "no timing entry " << key;
+  return -1;
+}
+
+TEST(CellRecordTest, RoundTripsBitExact) {
+  SweepOptions opts;
+  const SweepResult r = RunSweep(TinySpec(), opts);
+  for (const CellResult& cell : r.cells) {
+    const JsonValue record = CellRecordJson(cell);
+    std::string error;
+    const JsonValue reparsed = JsonValue::Parse(record.Dump(), &error);
+    ASSERT_TRUE(error.empty()) << error;
+    CellResult decoded;
+    ASSERT_TRUE(CellRecordFromJson(reparsed, &decoded, &error)) << error;
+    decoded.cell = cell.cell;
+    // Serializing the decoded cell again must reproduce the record exactly
+    // — the bit-identity that lets caches and fragments substitute for
+    // computation.
+    EXPECT_EQ(CellRecordJson(decoded).Dump(), record.Dump()) << cell.cell.id;
+    EXPECT_EQ(decoded.result.events_processed, cell.result.events_processed);
+    EXPECT_EQ(decoded.result.cpu_utilization, cell.result.cpu_utilization);
+    EXPECT_EQ(decoded.result.detected_types, cell.result.detected_types);
+    ASSERT_EQ(decoded.result.reports.size(), cell.result.reports.size());
+    for (size_t i = 0; i < cell.result.reports.size(); ++i) {
+      EXPECT_EQ(decoded.result.reports[i].metrics, cell.result.reports[i].metrics);
+    }
+    ASSERT_EQ(decoded.cursor_trace.size(), cell.cursor_trace.size());
+    for (size_t i = 0; i < cell.cursor_trace.size(); ++i) {
+      EXPECT_EQ(decoded.cursor_trace[i].io, cell.cursor_trace[i].io);
+      EXPECT_EQ(decoded.cursor_trace[i].llco, cell.cursor_trace[i].llco);
+    }
+  }
+}
+
+TEST(CellRecordTest, RejectsTypeMismatchedFieldsWithoutAborting) {
+  // Fragments and cache entries are external input: a wrong-typed field
+  // must produce a readable error, not a CHECK-abort.
+  JsonValue res = JsonValue::Object();
+  res.Set("scenario", 123);  // should be a string
+  JsonValue rec = JsonValue::Object();
+  rec.Set("id", "x").Set("result", std::move(res));
+  CellResult out;
+  std::string error;
+  EXPECT_FALSE(CellRecordFromJson(rec, &out, &error));
+  EXPECT_NE(error.find("scenario"), std::string::npos) << error;
+
+  JsonValue bad_header = JsonValue::Object();
+  bad_header.Set("fragment_schema", 1)
+      .Set("bench", 5)  // should be a string
+      .Set("options", JsonValue::Object())
+      .Set("shard", JsonValue::Object());
+  const MergeOutcome merged = MergeFragmentDocs({std::move(bad_header)});
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.error.find("bench"), std::string::npos) << merged.error;
+}
+
+// The acceptance contract: for every registered sweep, merging --shard k/N
+// fragments (N in {2, 4}) reproduces the unsharded --stable-json document
+// byte for byte. The cache turns the shard re-runs into loads, so this
+// covers all 11+ sweeps in roughly one quick full pass.
+TEST(MergeTest, EveryRegisteredSweepMergesByteIdentical) {
+  const auto cache_dir = FreshTempDir("aql_merge_test_cache");
+  for (const SweepSpec* spec : SweepRegistry::Instance().All()) {
+    SweepOptions base;
+    base.quick = true;
+    base.jobs = 2;
+    base.cache_dir = cache_dir.string();
+    const SweepResult full = RunSweep(*spec, base);
+    const std::string want = SweepJson(full, /*include_timing=*/false).Dump();
+
+    for (int n : {2, 4}) {
+      std::vector<JsonValue> fragments;
+      for (int k = 1; k <= n; ++k) {
+        SweepOptions opts = base;
+        // Worker count must not matter for sharded runs either.
+        opts.jobs = (k % 2 == 0) ? 4 : 1;
+        opts.shard_index = k;
+        opts.shard_count = n;
+        fragments.push_back(FragmentJson(RunSweep(*spec, opts)));
+      }
+      const MergeOutcome merged = MergeFragmentDocs(fragments);
+      ASSERT_TRUE(merged.ok) << spec->name << " N=" << n << ": " << merged.error;
+      EXPECT_EQ(SweepJson(merged.result, /*include_timing=*/false).Dump(), want)
+          << spec->name << " N=" << n;
+    }
+  }
+}
+
+TEST(MergeTest, RejectsOverlappingFragments) {
+  const SweepSpec* spec = SweepRegistry::Instance().Find("table5_clusters");
+  ASSERT_NE(spec, nullptr);
+  SweepOptions opts;
+  opts.quick = true;
+  opts.shard_index = 1;
+  opts.shard_count = 2;
+  const JsonValue frag = FragmentJson(RunSweep(*spec, opts));
+  const MergeOutcome merged = MergeFragmentDocs({frag, frag});
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.error.find("already provided"), std::string::npos) << merged.error;
+}
+
+TEST(MergeTest, RejectsMissingCells) {
+  const SweepSpec* spec = SweepRegistry::Instance().Find("table5_clusters");
+  ASSERT_NE(spec, nullptr);
+  SweepOptions opts;
+  opts.quick = true;
+  opts.shard_index = 1;
+  opts.shard_count = 2;
+  const MergeOutcome merged = MergeFragmentDocs({FragmentJson(RunSweep(*spec, opts))});
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.error.find("missing from the fragments"), std::string::npos)
+      << merged.error;
+}
+
+TEST(MergeTest, RejectsMismatchedOptions) {
+  const SweepSpec* spec = SweepRegistry::Instance().Find("table5_clusters");
+  ASSERT_NE(spec, nullptr);
+  SweepOptions opts;
+  opts.quick = true;
+  opts.shard_index = 1;
+  opts.shard_count = 2;
+  const JsonValue a = FragmentJson(RunSweep(*spec, opts));
+  opts.shard_index = 2;
+  opts.seed_salt += 1;  // different salt => different derived seeds
+  const JsonValue b = FragmentJson(RunSweep(*spec, opts));
+  const MergeOutcome merged = MergeFragmentDocs({a, b});
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.error.find("identically configured"), std::string::npos)
+      << merged.error;
+}
+
+TEST(MergeTest, RejectsUnknownSweepAndUnknownCells) {
+  // TinySpec is not registered: its fragments must be unmergeable.
+  SweepOptions opts;
+  opts.shard_index = 1;
+  opts.shard_count = 1;
+  SweepResult tiny = RunSweep(TinySpec(), opts);
+  const MergeOutcome unknown = MergeFragmentDocs({FragmentJson(tiny)});
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_NE(unknown.error.find("unknown sweep"), std::string::npos) << unknown.error;
+
+  // A fragment claiming a registered sweep but carrying a foreign cell id
+  // must be rejected, not silently dropped.
+  const SweepSpec* spec = SweepRegistry::Instance().Find("table5_clusters");
+  ASSERT_NE(spec, nullptr);
+  SweepOptions t5;
+  t5.quick = true;
+  t5.shard_index = 1;
+  t5.shard_count = 1;
+  SweepResult run = RunSweep(*spec, t5);
+  run.cells[0].cell.id = "not/a/real/cell";
+  const MergeOutcome bad = MergeFragmentDocs({FragmentJson(run)});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("not in sweep"), std::string::npos) << bad.error;
+}
+
+TEST(CellCacheTest, HitsAreBitIdenticalAndCounted) {
+  const auto dir = FreshTempDir("aql_cell_cache_test");
+  SweepOptions opts;
+  opts.cache_dir = dir.string();
+  const SweepResult cold = RunSweep(TinySpec(), opts);
+  EXPECT_EQ(TimingValue(cold, "cache_hits"), 0.0);
+  EXPECT_EQ(TimingValue(cold, "cache_misses"), static_cast<double>(cold.cells.size()));
+
+  const SweepResult warm = RunSweep(TinySpec(), opts);
+  EXPECT_EQ(TimingValue(warm, "cache_hits"), static_cast<double>(warm.cells.size()));
+  EXPECT_EQ(TimingValue(warm, "cache_misses"), 0.0);
+  EXPECT_EQ(SweepJson(warm, /*include_timing=*/false).Dump(),
+            SweepJson(cold, /*include_timing=*/false).Dump());
+}
+
+TEST(CellCacheTest, ConfigHashChangeInvalidates) {
+  const auto dir = FreshTempDir("aql_cell_cache_confighash");
+  SweepOptions opts;
+  opts.cache_dir = dir.string();
+  const SweepResult cold = RunSweep(TinySpec(), opts);
+  EXPECT_EQ(TimingValue(cold, "cache_misses"), static_cast<double>(cold.cells.size()));
+
+  SweepOptions other = opts;
+  other.config_hash = 0xdeadbeefULL;
+  const SweepResult invalidated = RunSweep(TinySpec(), other);
+  // Different configuration fingerprint: nothing may be reused...
+  EXPECT_EQ(TimingValue(invalidated, "cache_hits"), 0.0);
+  // ...but recomputation still yields the same simulation bits.
+  EXPECT_EQ(SweepJson(invalidated, /*include_timing=*/false).Dump(),
+            SweepJson(cold, /*include_timing=*/false).Dump());
+
+  // The original fingerprint's entries are untouched.
+  const SweepResult warm = RunSweep(TinySpec(), opts);
+  EXPECT_EQ(TimingValue(warm, "cache_hits"), static_cast<double>(warm.cells.size()));
+}
+
+TEST(CellCacheTest, CellConfigurationChangeInvalidates) {
+  // Editing a cell's parameters while keeping its id (and seed) must not
+  // serve stale results: the key carries a fingerprint of the expanded
+  // configuration.
+  const auto dir = FreshTempDir("aql_cell_cache_cellconfig");
+  SweepOptions opts;
+  opts.cache_dir = dir.string();
+  const SweepResult cold = RunSweep(TinySpec(), opts);
+
+  SweepSpec edited = TinySpec();
+  const auto inner = edited.build;
+  edited.build = [inner](const SweepOptions& o) {
+    std::vector<SweepCell> cells = inner(o);
+    for (SweepCell& cell : cells) {
+      cell.scenario.measure = Ms(500);  // same ids, different window
+    }
+    return cells;
+  };
+  const SweepResult rerun = RunSweep(edited, opts);
+  EXPECT_EQ(TimingValue(rerun, "cache_hits"), 0.0);
+  EXPECT_EQ(TimingValue(rerun, "cache_misses"), static_cast<double>(rerun.cells.size()));
+  // The original configuration's entries still hit.
+  const SweepResult warm = RunSweep(TinySpec(), opts);
+  EXPECT_EQ(TimingValue(warm, "cache_hits"), static_cast<double>(cold.cells.size()));
+}
+
+TEST(CellCacheTest, CorruptEntriesDegradeToMisses) {
+  const auto dir = FreshTempDir("aql_cell_cache_corrupt");
+  SweepOptions opts;
+  opts.cache_dir = dir.string();
+  const SweepResult cold = RunSweep(TinySpec(), opts);
+
+  size_t corrupted = 0;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      std::ofstream f(entry.path());
+      f << "{ definitely not a cache entry";
+      ++corrupted;
+    }
+  }
+  ASSERT_EQ(corrupted, cold.cells.size());
+
+  const SweepResult rerun = RunSweep(TinySpec(), opts);
+  EXPECT_EQ(TimingValue(rerun, "cache_hits"), 0.0);
+  EXPECT_EQ(TimingValue(rerun, "cache_misses"), static_cast<double>(rerun.cells.size()));
+  EXPECT_EQ(SweepJson(rerun, /*include_timing=*/false).Dump(),
+            SweepJson(cold, /*include_timing=*/false).Dump());
+}
+
+TEST(FragmentIoTest, WriteAndMergeFromDisk) {
+  const auto dir = FreshTempDir("aql_fragment_io");
+  const SweepSpec* spec = SweepRegistry::Instance().Find("table5_clusters");
+  ASSERT_NE(spec, nullptr);
+
+  SweepOptions base;
+  base.quick = true;
+  const SweepResult full = RunSweep(*spec, base);
+
+  std::vector<std::string> paths;
+  for (int k = 1; k <= 2; ++k) {
+    SweepOptions opts = base;
+    opts.shard_index = k;
+    opts.shard_count = 2;
+    paths.push_back(WriteFragmentJson(RunSweep(*spec, opts), dir.string()));
+    EXPECT_NE(paths.back().find(".shard" + std::to_string(k) + "of2.json"),
+              std::string::npos);
+  }
+  const MergeOutcome merged = MergeFragmentFiles(paths);
+  ASSERT_TRUE(merged.ok) << merged.error;
+  EXPECT_EQ(SweepJson(merged.result, /*include_timing=*/false).Dump(),
+            SweepJson(full, /*include_timing=*/false).Dump());
+}
+
+}  // namespace
+}  // namespace aql

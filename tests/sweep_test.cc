@@ -76,6 +76,77 @@ TEST(SweepEngineTest, ThreadCountDoesNotAffectResults) {
             SweepJson(r4, /*include_timing=*/false).Dump());
 }
 
+TEST(SweepEngineTest, CellInShardRoundRobin) {
+  // Unsharded: everything is a member.
+  EXPECT_TRUE(CellInShard(0, 0, 0));
+  EXPECT_TRUE(CellInShard(7, 0, 0));
+  // 2-way: even indices to shard 1, odd to shard 2.
+  EXPECT_TRUE(CellInShard(0, 1, 2));
+  EXPECT_FALSE(CellInShard(0, 2, 2));
+  EXPECT_TRUE(CellInShard(1, 2, 2));
+  EXPECT_TRUE(CellInShard(4, 1, 2));
+  // Every index belongs to exactly one shard.
+  for (size_t i = 0; i < 13; ++i) {
+    int owners = 0;
+    for (int k = 1; k <= 4; ++k) {
+      owners += CellInShard(i, k, 4) ? 1 : 0;
+    }
+    EXPECT_EQ(owners, 1) << i;
+  }
+}
+
+TEST(SweepEngineTest, ShardsPartitionTheSweepAndMatchTheFullRun) {
+  SweepOptions full_opts;
+  full_opts.jobs = 2;
+  const SweepResult full = RunSweep(TinySpec(), full_opts);
+
+  std::vector<const CellResult*> reassembled(full.cells.size(), nullptr);
+  size_t seen = 0;
+  std::vector<SweepResult> shards;
+  for (int k = 1; k <= 2; ++k) {
+    SweepOptions opts = full_opts;
+    opts.shard_index = k;
+    opts.shard_count = 2;
+    shards.push_back(RunSweep(TinySpec(), opts));
+  }
+  for (const SweepResult& shard : shards) {
+    EXPECT_EQ(shard.total_cells, full.cells.size());
+    // Sharded runs skip the render step: fragments carry cells only.
+    EXPECT_TRUE(shard.summary.empty());
+    EXPECT_TRUE(shard.tables.empty());
+    for (const CellResult& cell : shard.cells) {
+      for (size_t i = 0; i < full.cells.size(); ++i) {
+        if (full.cells[i].cell.id == cell.cell.id) {
+          ASSERT_EQ(reassembled[i], nullptr) << "overlap at " << cell.cell.id;
+          reassembled[i] = &cell;
+          ++seen;
+        }
+      }
+    }
+  }
+  ASSERT_EQ(seen, full.cells.size());
+  for (size_t i = 0; i < full.cells.size(); ++i) {
+    ASSERT_NE(reassembled[i], nullptr) << full.cells[i].cell.id;
+    // Shard execution must not perturb results: same derived seeds, same
+    // bits, regardless of which process slice ran the cell.
+    EXPECT_EQ(reassembled[i]->result.events_processed,
+              full.cells[i].result.events_processed);
+    EXPECT_EQ(reassembled[i]->result.cpu_utilization,
+              full.cells[i].result.cpu_utilization);
+  }
+}
+
+TEST(SweepEngineTest, ShardMayBeEmptyWhenCountExceedsCells) {
+  SweepOptions opts;
+  opts.shard_index = 5;
+  opts.shard_count = 5;  // TinySpec has 4 cells: shard 5 gets none
+  const SweepResult r = RunSweep(TinySpec(), opts);
+  EXPECT_TRUE(r.cells.empty());
+  EXPECT_EQ(r.total_cells, 4u);
+  EXPECT_EQ(r.shard_index, 5);
+  EXPECT_EQ(r.shard_count, 5);
+}
+
 TEST(SweepEngineTest, SeedSaltChangesStreams) {
   SweepOptions a;
   SweepOptions b;
@@ -166,6 +237,50 @@ TEST(JsonOutTest, NumbersRoundTrip) {
   EXPECT_EQ(JsonNumber(0.1), "0.1");
   EXPECT_EQ(JsonNumber(1.0 / 3.0), "0.3333333333333333");
   EXPECT_EQ(JsonNumber(2.0), "2");
+}
+
+TEST(JsonOutTest, ParseRoundTripsDumpedDocuments) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("text", "a\"b\nc\t\\d")
+      .Set("int", static_cast<int64_t>(-42))
+      .Set("uint", static_cast<uint64_t>(16250939874642925813ULL))
+      .Set("third", 1.0 / 3.0)
+      .Set("flag", false)
+      .Set("nothing", JsonValue());
+  JsonValue arr = JsonValue::Array();
+  arr.Push(0.1).Push(static_cast<int64_t>(7)).Push("x");
+  doc.Set("list", std::move(arr));
+  const std::string text = doc.Dump();
+
+  std::string error;
+  const JsonValue parsed = JsonValue::Parse(text, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  // Bit-exact round trip: re-dumping the parsed document reproduces the
+  // original text, including the 64-bit seed and the shortest-form double.
+  EXPECT_EQ(parsed.Dump(), text);
+  EXPECT_EQ(parsed.Find("text")->AsString(), "a\"b\nc\t\\d");
+  EXPECT_EQ(parsed.Find("int")->AsInt(), -42);
+  EXPECT_EQ(parsed.Find("uint")->AsUint(), 16250939874642925813ULL);
+  EXPECT_EQ(parsed.Find("third")->AsDouble(), 1.0 / 3.0);
+  EXPECT_EQ(parsed.Find("flag")->AsBool(), false);
+  EXPECT_TRUE(parsed.Find("nothing")->IsNull());
+  EXPECT_EQ(parsed.Find("list")->Items().size(), 3u);
+  EXPECT_EQ(parsed.Find("missing"), nullptr);
+}
+
+TEST(JsonOutTest, ParseRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\" 1}", "{\"a\": }", "tru",
+                          "\"unterminated", "{\"a\":1} trailing", "nan"}) {
+    std::string error;
+    const JsonValue v = JsonValue::Parse(bad, &error);
+    EXPECT_FALSE(error.empty()) << "accepted: " << bad;
+    EXPECT_TRUE(v.IsNull());
+  }
+  // Pathological nesting must fail cleanly, not blow the stack.
+  std::string deep(100000, '[');
+  std::string error;
+  JsonValue::Parse(deep, &error);
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
 }
 
 }  // namespace
