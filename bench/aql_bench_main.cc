@@ -30,6 +30,13 @@
 //   --timing         include wall-clock fields in the merged JSON (per-cell
 //                    compute times from the fragments; the total is their
 //                    sum, since fragments may come from different machines)
+//
+// The cache-gc subcommand bounds a long-lived cell cache: it evicts entry
+// files oldest-mtime-first until the cache fits the byte budget (and sweeps
+// up temp files orphaned by crashed writers). Surviving entries still hit
+// bit-identically.
+//
+//   aql_bench cache-gc --cache-dir DIR --max-bytes N
 
 #include <algorithm>
 #include <cstdio>
@@ -40,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/experiment/cell_cache.h"
 #include "src/experiment/merge.h"
 #include "src/experiment/registry.h"
 #include "src/metrics/table.h"
@@ -52,7 +60,8 @@ void Usage(FILE* out) {
                "usage: aql_bench (--list | --all | --run <name>...) "
                "[--jobs N] [--quick] [--out DIR] [--stable-json] [--no-json] "
                "[--shard K/N] [--cache-dir DIR]\n"
-               "       aql_bench merge [--out DIR] [--timing] <fragment.json>...\n");
+               "       aql_bench merge [--out DIR] [--timing] <fragment.json>...\n"
+               "       aql_bench cache-gc --cache-dir DIR --max-bytes N\n");
 }
 
 int DefaultJobs() {
@@ -147,9 +156,65 @@ int MergeMain(int argc, char** argv) {
   return 0;
 }
 
+// `aql_bench cache-gc`: bound a long-lived cell cache by evicting
+// oldest-mtime entries (src/experiment/cell_cache.h). Surviving entries
+// keep hitting bit-identically.
+int CacheGcMain(int argc, char** argv) {
+  std::string dir;
+  long long max_bytes = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "aql_bench cache-gc: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--cache-dir") {
+      dir = value();
+    } else if (arg == "--max-bytes") {
+      // Strict parse: a typo ("1G", "x10") must not read as 0 and wipe the
+      // cache.
+      const char* text = value();
+      char* end = nullptr;
+      max_bytes = std::strtoll(text, &end, 10);
+      if (end == text || *end != '\0' || max_bytes < 0) {
+        std::fprintf(stderr, "aql_bench cache-gc: --max-bytes wants a plain "
+                             "non-negative byte count, got %s\n", text);
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "aql_bench cache-gc: unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (dir.empty() || max_bytes < 0) {
+    std::fprintf(stderr, "aql_bench cache-gc: --cache-dir and --max-bytes are required\n");
+    Usage(stderr);
+    return 2;
+  }
+  const CellCache::GcStats stats =
+      CellCache::Gc(dir, static_cast<uint64_t>(max_bytes));
+  std::printf("cache-gc %s: %llu entries (%llu bytes) -> evicted %llu, "
+              "removed %llu temp files, %llu bytes resident\n",
+              dir.c_str(), static_cast<unsigned long long>(stats.entries_before),
+              static_cast<unsigned long long>(stats.bytes_before),
+              static_cast<unsigned long long>(stats.entries_evicted),
+              static_cast<unsigned long long>(stats.tmp_removed),
+              static_cast<unsigned long long>(stats.bytes_after));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "merge") == 0) {
     return MergeMain(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "cache-gc") == 0) {
+    return CacheGcMain(argc, argv);
   }
 
   SweepOptions options;

@@ -17,7 +17,13 @@ Summary metric *values* are printed with their deltas for human review;
 only names are contractual. When GITHUB_ACTIONS is set, breakages and
 warnings are also emitted as ::error::/::warning:: workflow annotations.
 
+A rolling history of runs (the CI `bench-history` artifact: one
+subdirectory per run, lexically ordered oldest-first) can be rendered as a
+trajectory instead: per sweep, every summary metric's series across runs
+plus the wall-time series. Trajectory mode is informational (exit 0).
+
 Usage: scripts/bench_diff.py [--wall-drift-pct P] OLD_DIR NEW_DIR
+       scripts/bench_diff.py --trajectory HISTORY_DIR
 """
 
 import argparse
@@ -131,13 +137,59 @@ def diff_bench(name, old, new, wall_drift_pct, breakages, warnings):
             print(f"info: {line}")
 
 
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def trajectory(history_dir):
+    """Prints per-sweep metric/wall series across a history of runs."""
+    runs = sorted(d for d in os.listdir(history_dir)
+                  if os.path.isdir(os.path.join(history_dir, d)))
+    if not runs:
+        print(f"bench_diff: no runs under {history_dir}; nothing to plot")
+        return 0
+    series = [(run, load_benches(os.path.join(history_dir, run))) for run in runs]
+    print(f"bench trajectory over {len(runs)} runs: {', '.join(runs)}")
+    sweeps = sorted({name for _, benches in series for name in benches})
+    for sweep in sweeps:
+        docs = [benches.get(sweep) for _, benches in series]
+        present = [d for d in docs if d is not None]
+        print(f"\n== {sweep} ({len(present)}/{len(runs)} runs) ==")
+        metrics = sorted({m for d in present for m in d.get("summary", {})})
+        for metric in metrics:
+            values = [
+                "-" if d is None or metric not in d.get("summary", {})
+                else fmt(d["summary"][metric])
+                for d in docs
+            ]
+            print(f"  {metric}: {' -> '.join(values)}")
+        walls = [
+            "-" if d is None or "timing" not in d
+            else fmt(d["timing"].get("total_wall_seconds", "-"))
+            for d in docs
+        ]
+        if any(w != "-" for w in walls):
+            print(f"  total_wall_seconds: {' -> '.join(walls)}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--wall-drift-pct", type=float, default=25.0,
                         help="warn when per-cell wall time drifts more than this percent")
-    parser.add_argument("old", help="baseline dir (or file) of BENCH_*.json")
-    parser.add_argument("new", help="candidate dir (or file) of BENCH_*.json")
+    parser.add_argument("--trajectory", metavar="HISTORY_DIR",
+                        help="render a run-history directory as per-metric series "
+                             "instead of diffing two runs")
+    parser.add_argument("old", nargs="?", help="baseline dir (or file) of BENCH_*.json")
+    parser.add_argument("new", nargs="?", help="candidate dir (or file) of BENCH_*.json")
     args = parser.parse_args()
+
+    if args.trajectory:
+        return trajectory(args.trajectory)
+    if not args.old or not args.new:
+        parser.error("OLD_DIR and NEW_DIR are required unless --trajectory is used")
 
     old_benches = load_benches(args.old)
     new_benches = load_benches(args.new)

@@ -54,7 +54,9 @@ void AqlController::OnMonitorPeriod(Machine& machine, TimeNs now) {
     c.avg = vtrs_.Average(v->id());
     classes.push_back(c);
   }
-  PoolPlan plan = BuildTwoLevelPlan(classes, machine.topology(), config_.calibration);
+  const std::vector<PlacementHint> hints = NumaResponse(machine, classes);
+  PoolPlan plan = BuildTwoLevelPlan(classes, machine.topology(), config_.calibration,
+                                    hints, machine.hw_params());
 
   const uint64_t elements = std::max<uint64_t>(machine.vcpus().size(),
                                                static_cast<uint64_t>(machine.topology().TotalPcpus()));
@@ -68,6 +70,57 @@ void AqlController::OnMonitorPeriod(Machine& machine, TimeNs now) {
   current_plan_ = std::move(plan);
   has_plan_ = true;
   ++plan_applications_;
+}
+
+std::vector<PlacementHint> AqlController::NumaResponse(
+    Machine& machine, const std::vector<VcpuClass>& classes) {
+  std::vector<PlacementHint> hints;
+  if (!config_.numa.enabled || machine.topology().sockets <= 1) {
+    return hints;
+  }
+  // `classes` is in vCPU id order, which keeps the hint list (and therefore
+  // the stickiness pass) deterministic.
+  for (const VcpuClass& c : classes) {
+    const Vcpu* v = machine.vcpu(c.vcpu);
+    MigrationState& ms = migration_[c.vcpu];
+    if (ms.socket >= 0 && v->footprint_socket >= 0 &&
+        v->footprint_socket != ms.socket) {
+      // The vCPU escaped its memory node despite the stickiness pass (e.g.
+      // a pool reshuffle): the migrated pages are remote again. Drop the
+      // migration state; it restarts below if the vCPU still reads
+      // NumaRemote.
+      ms = MigrationState{};
+      machine.SetRemoteAccessScale(c.vcpu, 1.0);
+    }
+    if (!ms.active && ms.socket < 0 && c.type == VcpuType::kNumaRemote &&
+        v->footprint_socket >= 0) {
+      // Start migrating the guest's pages toward the node the vCPU runs on.
+      ms.active = true;
+      ms.socket = v->footprint_socket;
+    }
+    if (ms.active) {
+      ms.scale = std::max(config_.numa.residual_scale,
+                          ms.scale * config_.numa.decay_per_decision);
+      machine.SetRemoteAccessScale(c.vcpu, ms.scale);
+      // Page scanning/copying is controller work: executed, not just
+      // accounted (it occupies pCPU 0 like the bookkeeping charge).
+      machine.ChargeControllerOverhead(config_.numa.migration_step_cost);
+      if (ms.scale <= config_.numa.residual_scale) {
+        ms.active = false;  // migration complete; the pin remains
+      }
+    }
+    // Every vCPU gets a hint: pinned ones drive the stickiness pass, the
+    // rest contribute their real footprints to the swap-partner cost model.
+    PlacementHint h;
+    h.vcpu = c.vcpu;
+    h.type = c.type;
+    h.socket = ms.socket >= 0 ? ms.socket : v->footprint_socket;
+    h.footprint_bytes =
+        h.socket >= 0 ? machine.llc().Occupancy(h.socket, c.vcpu) : 0;
+    h.pinned = ms.socket >= 0;
+    hints.push_back(h);
+  }
+  return hints;
 }
 
 bool AqlController::PlansEquivalent(const PoolPlan& a, const PoolPlan& b) {

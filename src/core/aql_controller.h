@@ -22,6 +22,23 @@
 
 namespace aql {
 
+// NUMA placement response: when vTRS recognizes a vCPU as NumaRemote, the
+// controller migrates the guest's pages toward the vCPU's node — modelled
+// as the vCPU's remote-access scale decaying per decision — and pins the
+// vCPU to that node through the placement layer's stickiness pass
+// (src/hv/placement.h) so the migrated pages stay local.
+struct NumaPlacementConfig {
+  bool enabled = true;
+  // Remote-access scale multiplier applied each decision while migrating.
+  double decay_per_decision = 0.5;
+  // Residual scale once migration completes (hot pages the migrator never
+  // catches). Reaching it ends the migration.
+  double residual_scale = 0.05;
+  // Controller cost of one migration step (page scanning + copies), charged
+  // per migrating vCPU per decision as *executed* overhead on pCPU 0.
+  TimeNs migration_step_cost = 100 * kNsPerUs;
+};
+
 struct AqlConfig {
   VtrsConfig vtrs;
   CalibrationTable calibration = PaperCalibration();
@@ -30,6 +47,7 @@ struct AqlConfig {
   TimeNs per_element_overhead = 50;
   // If false, the plan is re-applied every decision even when unchanged.
   bool skip_unchanged_plans = true;
+  NumaPlacementConfig numa;
 };
 
 class AqlController : public SchedController {
@@ -52,13 +70,30 @@ class AqlController : public SchedController {
   using TraceHook = std::function<void(TimeNs, int, const CursorSet&, const CursorSet&)>;
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
 
+  // NUMA page-migration progress for one vCPU (observability).
+  struct MigrationState {
+    // Remote-access scale currently applied (1.0 = never migrated).
+    double scale = 1.0;
+    // True while the per-decision decay is still running.
+    bool active = false;
+    // The memory node the pages were migrated toward (-1 = none).
+    int socket = -1;
+  };
+  const std::unordered_map<int, MigrationState>& migrations() const { return migration_; }
+
  private:
   static bool PlansEquivalent(const PoolPlan& a, const PoolPlan& b);
+
+  // The per-decision NUMA response: starts/advances page migrations and
+  // produces the placement hints for the plan build.
+  std::vector<PlacementHint> NumaResponse(Machine& machine,
+                                          const std::vector<VcpuClass>& classes);
 
   AqlConfig config_;
   Vtrs vtrs_;
   std::unordered_map<int, PmuCounters> last_pmu_;
   std::unordered_map<int, TimeNs> last_runtime_;
+  std::unordered_map<int, MigrationState> migration_;
   int periods_ = 0;
   PoolPlan current_plan_;
   bool has_plan_ = false;

@@ -233,11 +233,18 @@ std::vector<PoolSpec> SecondLevelClustering(const std::vector<VcpuClass>& socket
 
 PoolPlan BuildTwoLevelPlan(const std::vector<VcpuClass>& vcpus, const Topology& topology,
                            const CalibrationTable& calibration) {
+  return BuildTwoLevelPlan(vcpus, topology, calibration, {}, HwParams{});
+}
+
+PoolPlan BuildTwoLevelPlan(const std::vector<VcpuClass>& vcpus, const Topology& topology,
+                           const CalibrationTable& calibration,
+                           const std::vector<PlacementHint>& hints, const HwParams& hw) {
   std::unordered_map<int, VcpuClass> by_id;
   for (const VcpuClass& v : vcpus) {
     by_id[v.vcpu] = v;
   }
-  const SocketAssignment assignment = FirstLevelClustering(vcpus, topology.sockets);
+  SocketAssignment assignment = FirstLevelClustering(vcpus, topology.sockets);
+  ApplyNumaStickiness(assignment.per_socket, hints, topology, hw);
 
   PoolPlan plan;
   for (int s = 0; s < topology.sockets; ++s) {

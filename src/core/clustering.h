@@ -23,6 +23,7 @@
 #include "src/core/calibration.h"
 #include "src/core/cursors.h"
 #include "src/hv/cpu_pool.h"
+#include "src/hv/placement.h"
 #include "src/hw/topology.h"
 
 namespace aql {
@@ -53,6 +54,15 @@ std::vector<PoolSpec> SecondLevelClustering(const std::vector<VcpuClass>& socket
 // Full pipeline: Algorithm 1 then Algorithm 2 per socket.
 PoolPlan BuildTwoLevelPlan(const std::vector<VcpuClass>& vcpus, const Topology& topology,
                            const CalibrationTable& calibration);
+
+// Placement-aware pipeline: Algorithm 1, then the placement layer's NUMA
+// stickiness pass (vCPUs with migrated pages stay on their memory node,
+// swapping with the cheapest partner — src/hv/placement.h), then
+// Algorithm 2 per socket. With no pinned hints (all single-socket plans
+// trivially) the result is identical to the plain pipeline.
+PoolPlan BuildTwoLevelPlan(const std::vector<VcpuClass>& vcpus, const Topology& topology,
+                           const CalibrationTable& calibration,
+                           const std::vector<PlacementHint>& hints, const HwParams& hw);
 
 }  // namespace aql
 

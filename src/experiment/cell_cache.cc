@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +10,7 @@
 #include <sstream>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "src/experiment/merge.h"
 
@@ -57,10 +59,34 @@ bool UintEquals(const JsonValue* v, uint64_t want) {
 
 }  // namespace
 
+// Serializes every policy knob that can vary between cells sharing a label
+// (PolicySpec::Label() is e.g. "AQL_Sched" for all AQL variants, and the
+// overhead/fig6x sweeps build cells differing only in AqlConfig fields).
+std::string PolicyConfigText(const PolicySpec& policy) {
+  std::ostringstream os;
+  os << policy.Label() << '|' << static_cast<int>(policy.kind) << '|'
+     << policy.xen_quantum << '|' << policy.small_quantum << '|' << policy.turbo_pcpus;
+  const AqlConfig& a = policy.aql;
+  os << '|' << a.per_element_overhead << '|' << a.skip_unchanged_plans;
+  os << '|' << a.numa.enabled << '|' << a.numa.decay_per_decision << '|'
+     << a.numa.residual_scale << '|' << a.numa.migration_step_cost;
+  const VtrsConfig& v = a.vtrs;
+  os << '|' << v.io_limit << '|' << v.conspin_limit << '|' << v.llc_rr_limit << '|'
+     << v.llc_mr_limit << '|' << v.membw_mpki_limit << '|' << v.remote_ratio_limit
+     << '|' << v.bursty_spread_limit << '|' << v.window;
+  const CalibrationTable& c = a.calibration;
+  os << '|' << c.default_quantum;
+  for (int t = 0; t < kNumVcpuTypes; ++t) {
+    os << ',' << c.best_quantum[static_cast<size_t>(t)]
+       << (c.agnostic[static_cast<size_t>(t)] ? 'a' : '-');
+  }
+  return os.str();
+}
+
 uint64_t CellConfigFingerprint(const SweepCell& cell) {
   std::string text = ScenarioJson(cell.scenario).Dump();
   text += '\n';
-  text += cell.policy.Label();
+  text += PolicyConfigText(cell.policy);
   if (cell.trace_cursors) {
     text += "/trace";
   }
@@ -175,6 +201,76 @@ void CellCache::Store(const CellCacheKey& key, const CellResult& cell) {
   if (ec) {
     std::filesystem::remove(tmp, ec);
   }
+}
+
+CellCache::GcStats CellCache::Gc(const std::string& dir, uint64_t max_bytes) {
+  namespace fs = std::filesystem;
+  GcStats stats;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return stats;
+  }
+
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) {
+      continue;
+    }
+    const fs::path& p = it->path();
+    if (p.filename().string().find(".tmp.") != std::string::npos) {
+      // A crashed writer's leftover: never a valid entry, always removable.
+      fs::remove(p, ec);
+      ++stats.tmp_removed;
+      continue;
+    }
+    if (p.extension() != ".json") {
+      continue;
+    }
+    Entry e;
+    e.path = p;
+    e.mtime = fs::last_write_time(p, ec);
+    if (ec) {
+      continue;  // vanished underneath us (concurrent writer/gc)
+    }
+    e.bytes = static_cast<uint64_t>(fs::file_size(p, ec));
+    if (ec) {
+      continue;
+    }
+    entries.push_back(std::move(e));
+  }
+
+  stats.entries_before = entries.size();
+  for (const Entry& e : entries) {
+    stats.bytes_before += e.bytes;
+  }
+  stats.bytes_after = stats.bytes_before;
+
+  // Oldest first; equal mtimes (coarse filesystems) break by path so the
+  // eviction order is deterministic.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.mtime != b.mtime) {
+      return a.mtime < b.mtime;
+    }
+    return a.path < b.path;
+  });
+  for (const Entry& e : entries) {
+    if (stats.bytes_after <= max_bytes) {
+      break;
+    }
+    fs::remove(e.path, ec);
+    if (ec) {
+      continue;  // unremovable entries simply stay resident
+    }
+    stats.bytes_after -= e.bytes;
+    ++stats.entries_evicted;
+  }
+  return stats;
 }
 
 }  // namespace aql

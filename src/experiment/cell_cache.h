@@ -11,10 +11,11 @@
 // and store the complete serialized result (the fragment cell-record format
 // of src/experiment/merge.h), so a hit is bit-identical to recomputation.
 // The cell-config fingerprint (CellConfigFingerprint) hashes the cell's
-// expanded scenario description, policy label and trace flag, so editing a
-// sweep's cell parameters invalidates its entries even when the id stays;
-// configuration the fingerprint cannot see (machine/AQL knobs beyond the
-// scenario JSON and policy label, or simulation-code changes) still relies
+// expanded scenario description, the policy configuration (label, quanta,
+// every AqlConfig knob — cells can differ only in those) and the trace
+// flag, so editing a sweep's cell parameters invalidates its entries even
+// when the id stays; configuration the fingerprint cannot see (machine
+// knobs beyond the scenario JSON, or simulation-code changes) still relies
 // on the engine-version bump below.
 // The sweep name is part of the key because cell ids are only unique within
 // a sweep; two sweeps that build equivalent rigs (fig5/table3 both use the
@@ -46,7 +47,7 @@ namespace aql {
 
 // Bump on any change to simulation semantics or the record layout; doing so
 // orphans (not corrupts) every existing cache entry.
-inline constexpr const char* kCellCacheEngineVersion = "aql-cell-cache-v1";
+inline constexpr const char* kCellCacheEngineVersion = "aql-cell-cache-v2";
 
 struct CellCacheKey {
   std::string sweep;
@@ -57,9 +58,11 @@ struct CellCacheKey {
 };
 
 // Fingerprint of a cell's executable configuration: FNV-1a over the
-// serialized scenario description (ScenarioJson), the policy label and the
-// trace flag. Guards the cache against a sweep registration changing a
-// cell's parameters while keeping its id.
+// serialized scenario description (ScenarioJson), the full policy
+// configuration (kind, quanta, AqlConfig including vTRS limits,
+// calibration and the NUMA response knobs) and the trace flag. Guards the
+// cache against a sweep registration changing a cell's parameters while
+// keeping its id.
 uint64_t CellConfigFingerprint(const SweepCell& cell);
 
 class CellCache {
@@ -84,6 +87,22 @@ class CellCache {
   uint64_t config_hash() const { return config_hash_; }
   uint64_t hits() const { return hits_.load(); }
   uint64_t misses() const { return misses_.load(); }
+
+  // --- garbage collection (`aql_bench cache-gc`) ---
+
+  struct GcStats {
+    uint64_t entries_before = 0;
+    uint64_t entries_evicted = 0;
+    uint64_t tmp_removed = 0;  // orphaned temp files of crashed writers
+    uint64_t bytes_before = 0;
+    uint64_t bytes_after = 0;
+  };
+
+  // Evicts entry files under `dir` oldest-mtime-first until the cache fits
+  // `max_bytes` (ties broken by path for determinism). Orphaned temp files
+  // are removed unconditionally. Surviving entries are never touched, so
+  // they keep hitting — and verifying — exactly as before the pass.
+  static GcStats Gc(const std::string& dir, uint64_t max_bytes);
 
  private:
   uint64_t HashKey(const CellCacheKey& key) const;

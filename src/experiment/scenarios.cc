@@ -79,10 +79,6 @@ MachineConfig DualSocketNumaMachine(uint64_t seed) {
   MachineConfig mc;
   mc.topology = MakeE54603Topology();
   mc.topology.sockets = 2;
-  // Sustainable per-socket DRAM bandwidth. Calibrated against the miss
-  // penalty (64 B per 80 ns ≈ 0.8 B/ns asymptotic single-core demand): one
-  // streamer fits, two or more co-running streamers saturate the bus.
-  mc.hw.mem_bw_bytes_per_ns = 1.2;
   mc.seed = seed;
   return mc;
 }
@@ -142,13 +138,12 @@ ScenarioSpec ExtendedValidationRig(const std::string& app, uint64_t seed) {
   if (!profile.extended) {
     return ValidationRig(app, seed);
   }
+  // All extended profiles share one rig: the dual-socket E5 machine. The
+  // memory-bus and NUMA terms are intrinsic to that machine model (its
+  // topology preset carries the bandwidth, the Machine always applies the
+  // SLIT penalty on multi-socket), so no per-app hardware special-casing.
   ScenarioSpec spec;
-  if (profile.expected_type == VcpuType::kNumaRemote) {
-    spec.machine = DualSocketNumaMachine(seed);
-  } else {
-    spec.machine = SingleSocketMachine(4, seed);
-    spec.machine.hw.mem_bw_bytes_per_ns = 1.2;
-  }
+  spec.machine = DualSocketNumaMachine(seed);
   spec.name = "xval/" + app;
   const int pcpus = spec.machine.topology.TotalPcpus();
   const int baseline = BaselineVcpus(app);

@@ -64,8 +64,9 @@ MachineConfig SingleSocketMachine(int pcpus = 4, uint64_t seed = 42);
 // leaving 3 usable sockets x 4 pCPUs.
 MachineConfig MultiSocketMachine(uint64_t seed = 42);
 
-// Two E5-4603 sockets (8 pCPUs) with the NUMA distance and memory-bus
-// contention terms active — the rig for the extended memory profiles.
+// Two E5-4603 sockets (8 pCPUs) — the rig for the extended memory profiles.
+// The NUMA distance and memory-bus contention terms are intrinsic to the
+// machine model (the E5 topology preset carries its DRAM bandwidth).
 MachineConfig DualSocketNumaMachine(uint64_t seed = 42);
 
 // §3.4.1 calibration rig: a baseline VM running `app` colocated with
@@ -78,9 +79,9 @@ ScenarioSpec ValidationRig(const std::string& app, uint64_t seed = 42);
 
 // Validation rig for the 8-type extended catalog (table3x). Paper
 // applications get the unmodified ValidationRig, so their cells reproduce
-// table3 exactly. Extended applications run with the memory-bus contention
-// term enabled; NUMA-remote ones additionally need a second socket, so they
-// run on the dual-socket NUMA machine (still 4 vCPUs per pCPU).
+// table3 exactly. Extended applications all run on the dual-socket NUMA
+// machine (still 4 vCPUs per pCPU), whose memory-bus and NUMA terms are
+// part of the machine model itself.
 ScenarioSpec ExtendedValidationRig(const std::string& app, uint64_t seed = 42);
 
 // Table 4 colocation scenarios S1..S5 (index 1-based).

@@ -14,12 +14,21 @@
 
 namespace aql {
 
+// Calibrated quick preset: quick mode takes its cost cut from the cheap
+// levers first — seed repeats collapse to one (Repeats) before simulated
+// windows shrink — and the window floors are calibrated for vTRS fidelity,
+// not minimality. With a 30 ms monitoring period and decisions every 4
+// periods, a 600 ms warm-up lets LLC-resident working sets warm through the
+// early trasher contention and a 1.5 s measure window carries ~12 decisions,
+// which stops quick mode from misreading LLCF applications as LLCO (the
+// cold-cache miss ratio reads capacity-bound). See README "Fidelity &
+// reproducibility caveats".
 TimeNs SweepOptions::Warmup(TimeNs full) const {
   if (!quick) {
     return full;
   }
   const TimeNs scaled = full / 10;
-  return scaled < Ms(300) ? Ms(300) : scaled;
+  return scaled < Ms(600) ? Ms(600) : scaled;
 }
 
 TimeNs SweepOptions::Measure(TimeNs full) const {
@@ -27,7 +36,7 @@ TimeNs SweepOptions::Measure(TimeNs full) const {
     return full;
   }
   const TimeNs scaled = full / 10;
-  return scaled < Ms(500) ? Ms(500) : scaled;
+  return scaled < Ms(1500) ? Ms(1500) : scaled;
 }
 
 int SweepOptions::Repeats(int full) const { return quick ? 1 : full; }

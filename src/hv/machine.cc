@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/hv/placement.h"
 #include "src/sim/check.h"
 
 namespace aql {
@@ -12,7 +13,7 @@ Machine::Machine(Simulation& sim, const MachineConfig& config)
     : sim_(sim),
       config_(config),
       llc_(config.topology.sockets, config.topology.llc_bytes, config.hw),
-      mem_bus_(config.topology.sockets, config.hw.mem_bw_bytes_per_ns),
+      mem_bus_(config.topology.sockets, config.topology.mem_bw_bytes_per_ns),
       remote_miss_extra_(config.topology.sockets > 1
                              ? config.topology.RemoteMissExtra(config.hw.llc_miss_penalty)
                              : 0),
@@ -213,12 +214,15 @@ void Machine::BeginStep(int pcpu) {
       const uint64_t misses =
           mem.wss_bytes == 0 ? 0 : static_cast<uint64_t>(refs_d * miss_ratio);
       // NUMA: misses against remotely-pinned memory pay the distance penalty
-      // on top of the local DRAM access.
+      // on top of the local DRAM access. The vCPU's remote-access scale
+      // models hypervisor page migration (1.0 until a controller migrates
+      // the guest's pages toward the vCPU's node; the multiply is exact at
+      // 1.0, so an inactive controller changes nothing).
       const uint64_t remote =
           config_.topology.sockets > 1
-              ? static_cast<uint64_t>(
-                    static_cast<double>(misses) *
-                    std::clamp(mem.remote_fraction, 0.0, 1.0))
+              ? static_cast<uint64_t>(static_cast<double>(misses) *
+                                      std::clamp(mem.remote_fraction, 0.0, 1.0) *
+                                      v->remote_access_scale)
               : 0;
       TimeNs stall = static_cast<TimeNs>(misses) * config_.hw.llc_miss_penalty +
                      static_cast<TimeNs>(remote) * remote_miss_extra_;
@@ -237,7 +241,11 @@ void Machine::BeginStep(int pcpu) {
       s.step_refs = refs;
       s.step_misses = misses;
       s.step_remote = remote;
-      s.step_planned = work + stall + s.pending_overhead;
+      // Outstanding controller debt is served at the head of the step: the
+      // controller borrows the pCPU before guest work resumes.
+      s.step_debt = s.controller_debt;
+      s.controller_debt = 0;
+      s.step_planned = work + stall + s.pending_overhead + s.step_debt;
       s.pending_overhead = 0;
       const TimeNs end = std::min(now + s.step_planned, s.quantum_end);
       s.segment_event =
@@ -297,10 +305,20 @@ void Machine::EndStep(int pcpu, bool completed) {
 
   switch (s.step.kind) {
     case Step::Kind::kCompute: {
+      // Controller debt runs before guest work; whatever the step did not
+      // serve goes back to the pCPU's debt so truncation (quantum expiry,
+      // kicks) cannot evaporate the charge. Guest progress is pro-rated
+      // over the guest portion of the plan only.
+      const TimeNs debt_served = std::min(elapsed, s.step_debt);
+      s.controller_debt += s.step_debt - debt_served;
+      const TimeNs guest_elapsed = elapsed - debt_served;
+      const TimeNs guest_planned = s.step_planned - s.step_debt;
+      s.step_debt = 0;
       double frac = 1.0;
-      if (!completed && s.step_planned > 0) {
-        frac = std::clamp(static_cast<double>(elapsed) / static_cast<double>(s.step_planned),
-                          0.0, 1.0);
+      if (!completed && guest_planned > 0) {
+        frac = std::clamp(
+            static_cast<double>(guest_elapsed) / static_cast<double>(guest_planned), 0.0,
+            1.0);
       }
       const TimeNs work_done =
           completed ? s.step_work
@@ -526,20 +544,16 @@ void Machine::ApplyPoolPlan(const PoolPlan& plan) {
   processing_ = true;
   sched_.SetPools(plan.pools);
 
-  // Re-home vCPUs: spread each pool's members round-robin over its pCPUs.
-  for (size_t pool_idx = 0; pool_idx < plan.pools.size(); ++pool_idx) {
-    const PoolSpec& spec = plan.pools[pool_idx];
-    size_t rr = 0;
-    for (int vid : spec.vcpus) {
-      Vcpu* v = vcpu(vid);
-      v->pool = static_cast<int>(pool_idx);
-      v->home_pcpu = spec.pcpus[rr % spec.pcpus.size()];
-      ++rr;
-      if (v->state == RunState::kRunnable) {
-        const bool removed = sched_.RemoveFromAnyQueue(v);
-        AQL_CHECK(removed);
-        sched_.Enqueue(v, v->home_pcpu);
-      }
+  // Re-home vCPUs per the placement layer's assignment (each pool's members
+  // dealt round-robin over its pCPUs).
+  for (const HomeAssignment& a : AssignHomes(plan)) {
+    Vcpu* v = vcpu(a.vcpu);
+    v->pool = a.pool;
+    v->home_pcpu = a.home_pcpu;
+    if (v->state == RunState::kRunnable) {
+      const bool removed = sched_.RemoveFromAnyQueue(v);
+      AQL_CHECK(removed);
+      sched_.Enqueue(v, v->home_pcpu);
     }
   }
 
@@ -577,9 +591,26 @@ void Machine::SetVcpuQuantum(int vcpu_id, TimeNs quantum) {
   vcpu(vcpu_id)->quantum_override = quantum;
 }
 
+void Machine::SetRemoteAccessScale(int vcpu_id, double scale) {
+  AQL_CHECK(scale >= 0.0 && scale <= 1.0);
+  vcpu(vcpu_id)->remote_access_scale = scale;
+}
+
 void Machine::ChargeControllerOverhead(TimeNs cost) {
   AQL_CHECK(cost >= 0);
+  if (cost == 0) {
+    return;  // exactly inert: zero-charge AQL stays bit-identical to Xen
+  }
   controller_overhead_ += cost;
+  // Execution, not just accounting: the charge occupies pCPU 0. The debt is
+  // served at the head of the next compute step there as extra wall time
+  // (the same dilation mechanism as memory stalls), which lands it in
+  // BusyTime, in the victim vCPU's runtime/credits, and in lost progress;
+  // EndStep refunds any unserved remainder on truncation, so preemption
+  // cannot evaporate the charge. Landing at the next step boundary (steps
+  // are sub-quantum) keeps the zero-charge trajectory untouched and the
+  // executed cost exactly attributable.
+  pcpus_[0].controller_debt += cost;
 }
 
 // ---------------------------------------------------------------------------

@@ -89,8 +89,21 @@ class Machine : public WorkloadHost {
   // Sets a per-vCPU quantum override (0 clears it). Used by vSlicer.
   void SetVcpuQuantum(int vcpu, TimeNs quantum);
 
-  // Charges simulated controller bookkeeping cost (burns pCPU 0 time and is
-  // reported as overhead, cf. paper §4.3).
+  // Scales the fraction of the vCPU's DRAM accesses served remotely
+  // (MemProfile::remote_fraction multiplier in [0, 1]). Controllers model
+  // NUMA page migration with it: migrating a vCPU's guest pages toward its
+  // node decays the scale from 1.0 (all pages where the guest pinned them)
+  // toward a residual. 1.0 is exactly inert.
+  void SetRemoteAccessScale(int vcpu, double scale);
+
+  // Charges simulated controller bookkeeping cost (cf. paper §4.3). The
+  // charge is *executed*, not just accounted: it occupies pCPU 0 for the
+  // charged duration — served at the head of the next compute step there,
+  // dilating its wall time like a memory stall and surviving truncation via
+  // refund — so it shows up in pCPU-0 BusyTime, in the progress of whatever
+  // runs there, and in end-to-end normalized performance. A zero charge is
+  // exactly inert. The cumulative counter (controller_overhead()) is kept
+  // for reporting.
   void ChargeControllerOverhead(TimeNs cost);
 
   // --- observability ---
@@ -136,6 +149,14 @@ class Machine : public WorkloadHost {
     uint64_t step_misses = 0;
     uint64_t step_remote = 0;  // misses served by a remote NUMA node
     TimeNs pending_overhead = 0;  // context-switch cost charged to next step
+    // Controller time this pCPU still owes (ChargeControllerOverhead lands
+    // it on pCPU 0): served at the head of the next compute step as extra
+    // wall time, so the charge occupies the pCPU instead of merely being
+    // counted. step_debt is the portion taken by the in-flight step; the
+    // unserved remainder is refunded on truncation so preemption cannot
+    // evaporate the charge.
+    TimeNs controller_debt = 0;
+    TimeNs step_debt = 0;
     EventId segment_event = kInvalidEventId;
     // Accounting.
     TimeNs busy = 0;

@@ -75,6 +75,10 @@ class Vcpu {
   int footprint_socket = -1;
   // Per-vCPU quantum override (vSlicer-style); 0 = use pool quantum.
   TimeNs quantum_override = 0;
+  // Fraction of MemProfile::remote_fraction still in effect: 1.0 = guest
+  // pages where the guest pinned them; a controller's page migration decays
+  // it toward its residual (Machine::SetRemoteAccessScale).
+  double remote_access_scale = 1.0;
 
   // Pending self-wake timer event (kBlock with finite wake_at).
   EventId wake_event = kInvalidEventId;

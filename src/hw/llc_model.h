@@ -70,7 +70,7 @@ class LlcModel {
 // Each pCPU registers the uncontended fetch-bandwidth demand of its in-flight
 // compute step (miss bytes per nanosecond of planned execution). When the
 // socket's aggregate demand exceeds the controller's sustainable bandwidth
-// (HwParams::mem_bw_bytes_per_ns), memory stalls stretch by demand/bandwidth
+// (Topology::mem_bw_bytes_per_ns), memory stalls stretch by demand/bandwidth
 // — the classic bandwidth-saturation slowdown streaming workloads inflict on
 // each other. With mem_bw_bytes_per_ns == 0 the bus is unmodeled and the
 // factor is always 1.

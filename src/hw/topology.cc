@@ -51,6 +51,10 @@ Topology MakeE54603Topology() {
   t.l1_bytes = 32 * 1024;
   t.l2_bytes = 256 * 1024;
   t.llc_bytes = 10ull * 1024 * 1024;
+  // Sustainable per-socket DRAM bandwidth. Calibrated against the miss
+  // penalty (64 B per 80 ns ≈ 0.8 B/ns asymptotic single-core demand): one
+  // streamer fits, two or more co-running streamers saturate the bus.
+  t.mem_bw_bytes_per_ns = 1.2;
   return t;
 }
 

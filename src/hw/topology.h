@@ -34,12 +34,6 @@ struct HwParams {
   // streaming workload's fetched lines (WSS > LLC) that are actually
   // inserted with enough priority to evict re-used working sets.
   double stream_insertion_fraction = 0.3;
-  // Per-socket DRAM bandwidth the memory controller sustains, in bytes per
-  // nanosecond. When the aggregate miss-fetch demand of the socket's running
-  // vCPUs exceeds it, memory stalls stretch proportionally (see MemBus).
-  // 0 = unmodeled (infinite bandwidth); the paper's scenarios predate this
-  // term, so it is enabled per-scenario to keep their baselines untouched.
-  double mem_bw_bytes_per_ns = 0.0;
 };
 
 // Physical machine layout. pCPUs are numbered globally, socket-major:
@@ -54,6 +48,13 @@ struct Topology {
   // else (all remote nodes are equidistant, as on the E5-4603's ring).
   int numa_local_distance = 10;
   int numa_remote_distance = 21;
+  // Per-socket DRAM bandwidth the memory controller sustains, in bytes per
+  // nanosecond. This is a property of the machine, not of a scenario: the
+  // Machine always instantiates the MemBus contention term from it, and the
+  // term is inert by construction at 0 (infinite bandwidth). The i7-3770
+  // preset keeps 0 — the paper's single-socket calibration predates the
+  // term — while the E5-4603 preset carries its measured bandwidth.
+  double mem_bw_bytes_per_ns = 0.0;
 
   int TotalPcpus() const { return sockets * cores_per_socket; }
   int SocketOf(int pcpu) const;

@@ -33,8 +33,11 @@ struct MemProfile {
   // modelling guest memory pinned far from where the vCPU runs. The machine
   // charges each remote access the topology's NUMA-distance penalty and
   // counts it in the PMU. Only meaningful on multi-socket topologies (a
-  // single-socket machine has no remote node and the fraction is ignored);
-  // page migration is not modelled, so the fraction is static.
+  // single-socket machine has no remote node and the fraction is ignored).
+  // The declared fraction describes the guest's own placement; hypervisor
+  // page migration is modelled on top of it via the vCPU's remote-access
+  // scale (Machine::SetRemoteAccessScale), which controllers decay when
+  // they migrate pages toward the vCPU's node.
   double remote_fraction = 0.0;
 };
 

@@ -1,0 +1,119 @@
+// Tests for the cell-result cache's GC pass (`aql_bench cache-gc`):
+// oldest-mtime eviction down to a byte budget, temp-file sweeping, and —
+// the contract that matters — entries surviving a GC still hit and verify
+// exactly as before.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/experiment/cell_cache.h"
+#include "src/experiment/runner.h"
+
+namespace aql {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CellCacheGcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("aql_cache_gc_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+CellCacheKey Key(const std::string& cell_id, uint64_t seed) {
+  CellCacheKey key;
+  key.sweep = "gc_test";
+  key.cell_id = cell_id;
+  key.derived_seed = seed;
+  key.quick = true;
+  key.config_fingerprint = 0xfeedULL;
+  return key;
+}
+
+// A small but real cell result, so stored records exercise the full
+// serialization round trip.
+CellResult MakeResult(const std::string& cell_id, uint64_t seed) {
+  CellResult cell;
+  cell.cell.id = cell_id;
+  ScenarioSpec spec;
+  spec.name = "gc/" + cell_id;
+  spec.machine = SingleSocketMachine(1, seed);
+  spec.vms = {{"hmmer", 1}};
+  spec.warmup = Ms(30);
+  spec.measure = Ms(60);
+  cell.result = RunScenario(spec, PolicySpec::Xen());
+  return cell;
+}
+
+// Backdates `path` by `seconds` so eviction order is controlled.
+void Backdate(const fs::path& path, int seconds) {
+  const auto t = fs::last_write_time(path);
+  fs::last_write_time(path, t - std::chrono::seconds(seconds));
+}
+
+TEST_F(CellCacheGcTest, EvictsOldestFirstAndSurvivorsStillHit) {
+  CellCache cache(dir_.string(), /*config_hash=*/1234);
+  const CellCacheKey old_key = Key("old", 1);
+  const CellCacheKey new_key = Key("new", 2);
+  cache.Store(old_key, MakeResult("old", 1));
+  cache.Store(new_key, MakeResult("new", 2));
+  Backdate(cache.PathFor(old_key), 1000);
+
+  CellResult before;
+  ASSERT_TRUE(cache.Load(new_key, &before));
+
+  // Budget for roughly one entry: the older one must go.
+  const auto keep_bytes = fs::file_size(cache.PathFor(new_key));
+  const CellCache::GcStats stats = CellCache::Gc(dir_.string(), keep_bytes);
+  EXPECT_EQ(stats.entries_before, 2u);
+  EXPECT_EQ(stats.entries_evicted, 1u);
+  EXPECT_LE(stats.bytes_after, keep_bytes);
+  EXPECT_FALSE(fs::exists(cache.PathFor(old_key)));
+  EXPECT_TRUE(fs::exists(cache.PathFor(new_key)));
+
+  // The survivor still hits, bit-identically to the pre-GC load.
+  CellResult after;
+  EXPECT_TRUE(cache.Load(new_key, &after));
+  EXPECT_EQ(after.result.events_processed, before.result.events_processed);
+  EXPECT_EQ(after.result.cpu_utilization, before.result.cpu_utilization);
+  ASSERT_EQ(after.result.reports.size(), before.result.reports.size());
+  for (size_t i = 0; i < after.result.reports.size(); ++i) {
+    EXPECT_EQ(after.result.reports[i].metrics, before.result.reports[i].metrics);
+  }
+  // The evicted entry degrades to a plain miss.
+  CellResult evicted;
+  EXPECT_FALSE(cache.Load(old_key, &evicted));
+}
+
+TEST_F(CellCacheGcTest, ZeroBudgetEmptiesTheCacheAndSweepsTempFiles) {
+  CellCache cache(dir_.string(), /*config_hash=*/1234);
+  cache.Store(Key("a", 1), MakeResult("a", 1));
+  cache.Store(Key("b", 2), MakeResult("b", 2));
+  // An orphaned writer temp file (crashed process).
+  std::ofstream(dir_ / "gc_test" / "deadbeef.json.tmp.12345.67") << "torn";
+
+  const CellCache::GcStats stats = CellCache::Gc(dir_.string(), 0);
+  EXPECT_EQ(stats.entries_before, 2u);
+  EXPECT_EQ(stats.entries_evicted, 2u);
+  EXPECT_EQ(stats.tmp_removed, 1u);
+  EXPECT_EQ(stats.bytes_after, 0u);
+}
+
+TEST_F(CellCacheGcTest, MissingDirectoryIsANoOp) {
+  const CellCache::GcStats stats = CellCache::Gc((dir_ / "nope").string(), 0);
+  EXPECT_EQ(stats.entries_before, 0u);
+  EXPECT_EQ(stats.entries_evicted, 0u);
+}
+
+}  // namespace
+}  // namespace aql

@@ -208,9 +208,12 @@ TEST(SweepOptionsTest, QuickModeScalesWindows) {
 
   SweepOptions quick;
   quick.quick = true;
-  EXPECT_EQ(quick.Measure(Sec(10)), Sec(1));
-  EXPECT_EQ(quick.Measure(Sec(1)), Ms(500));  // floor
-  EXPECT_EQ(quick.Warmup(Sec(2)), Ms(300));   // floor
+  // Calibrated preset: repeats collapse to one before windows shrink, and
+  // the window floors keep vTRS recognition faithful (no LLCF->LLCO
+  // misreads from cold caches / too few decisions).
+  EXPECT_EQ(quick.Measure(Sec(20)), Sec(2));
+  EXPECT_EQ(quick.Measure(Sec(10)), Ms(1500));  // floor
+  EXPECT_EQ(quick.Warmup(Sec(2)), Ms(600));     // floor
   EXPECT_EQ(quick.Repeats(3), 1);
 }
 
