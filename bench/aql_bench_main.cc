@@ -13,6 +13,9 @@
 //   --out DIR        output directory for BENCH_<name>.json (default ".")
 //   --stable-json    omit wall-clock timing from JSON (byte-comparable runs)
 //   --no-json        skip JSON emission entirely
+//   --profile        per-cell wall-clock phase breakdown (event-core / llc /
+//                    scheduler / render) under each cell's `profile` key;
+//                    timing data only, never part of --stable-json output
 //   --shard K/N      run only shard K of N (1-based): cells are partitioned
 //                    round-robin over their deterministic expansion order,
 //                    the render step is skipped, and the output is a
@@ -59,7 +62,7 @@ void Usage(FILE* out) {
   std::fprintf(out,
                "usage: aql_bench (--list | --all | --run <name>...) "
                "[--jobs N] [--quick] [--out DIR] [--stable-json] [--no-json] "
-               "[--shard K/N] [--cache-dir DIR]\n"
+               "[--profile] [--shard K/N] [--cache-dir DIR]\n"
                "       aql_bench merge [--out DIR] [--timing] <fragment.json>...\n"
                "       aql_bench cache-gc --cache-dir DIR --max-bytes N\n");
 }
@@ -250,6 +253,8 @@ int Main(int argc, char** argv) {
       }
     } else if (arg == "--quick") {
       options.quick = true;
+    } else if (arg == "--profile") {
+      options.profile = true;
     } else if (arg == "--out") {
       out_dir = value();
     } else if (arg == "--stable-json") {
@@ -298,6 +303,14 @@ int Main(int argc, char** argv) {
   if (sharded && !write_json) {
     std::fprintf(stderr, "aql_bench: --shard produces fragment JSON; "
                          "--no-json makes a sharded run pointless\n");
+    return 2;
+  }
+  if (sharded && options.profile) {
+    // Fragments (and the cell cache they share a record format with) carry
+    // no profile data, so the breakdown would be collected and then
+    // silently dropped. Refuse instead of wasting the instrumented run.
+    std::fprintf(stderr, "aql_bench: --profile output cannot ride in shard "
+                         "fragments; profile unsharded runs\n");
     return 2;
   }
 

@@ -22,8 +22,13 @@ subdirectory per run, lexically ordered oldest-first) can be rendered as a
 trajectory instead: per sweep, every summary metric's series across runs
 plus the wall-time series. Trajectory mode is informational (exit 0).
 
-Usage: scripts/bench_diff.py [--wall-drift-pct P] OLD_DIR NEW_DIR
-       scripts/bench_diff.py --trajectory HISTORY_DIR
+Wall-time focus (--walls): in diff mode, prints a per-sweep wall-time table
+(old, new, speedup; per-cell totals and the slowest cells) — the view used
+to demonstrate engine speedups against a committed BENCH_baseline capture.
+In trajectory mode, adds the per-cell wall series to the per-sweep output.
+
+Usage: scripts/bench_diff.py [--wall-drift-pct P] [--walls] OLD_DIR NEW_DIR
+       scripts/bench_diff.py --trajectory HISTORY_DIR [--walls]
 """
 
 import argparse
@@ -143,7 +148,58 @@ def fmt(value):
     return str(value)
 
 
-def trajectory(history_dir):
+def cell_walls(doc):
+    """{cell_id: wall_seconds} for one bench document."""
+    return {c["id"]: c["wall_seconds"] for c in doc.get("cells", [])
+            if "id" in c and isinstance(c.get("wall_seconds"), (int, float))}
+
+
+def walls_report(old_benches, new_benches):
+    """Per-sweep wall-time comparison table (the --walls diff view)."""
+    rows = []
+    for name in sorted(set(old_benches) & set(new_benches)):
+        old_w = cell_walls(old_benches[name])
+        new_w = cell_walls(new_benches[name])
+        shared = sorted(set(old_w) & set(new_w))
+        if not shared:
+            continue
+        old_total = sum(old_w[c] for c in shared)
+        new_total = sum(new_w[c] for c in shared)
+        speedup = old_total / new_total if new_total > 0 else float("inf")
+        rows.append((name, len(shared), old_total, new_total, speedup))
+    if not rows:
+        print("walls: no sweeps with comparable per-cell wall times")
+        return
+    print("\n== wall times (per-cell sums over shared cells) ==")
+    header = f"{'sweep':<22} {'cells':>5} {'old s':>9} {'new s':>9} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    total_old = total_new = 0.0
+    for name, n, old_total, new_total, speedup in rows:
+        total_old += old_total
+        total_new += new_total
+        print(f"{name:<22} {n:>5} {old_total:>9.3f} {new_total:>9.3f} {speedup:>7.2f}x")
+    overall = total_old / total_new if total_new > 0 else float("inf")
+    print("-" * len(header))
+    print(f"{'TOTAL':<22} {'':>5} {total_old:>9.3f} {total_new:>9.3f} {overall:>7.2f}x")
+
+    # Slowest cells of the new run, with their old walls: a single-cell
+    # regression must not be able to hide inside a sweep total.
+    slowest = []
+    for name in sorted(set(old_benches) & set(new_benches)):
+        old_w = cell_walls(old_benches[name])
+        for cell, wall in cell_walls(new_benches[name]).items():
+            if cell in old_w:
+                slowest.append((wall, f"{name}:{cell}", old_w[cell]))
+    slowest.sort(reverse=True)
+    if slowest:
+        print("\nslowest cells (new run):")
+        for wall, label, old_wall in slowest[:10]:
+            ratio = old_wall / wall if wall > 0 else float("inf")
+            print(f"  {label:<48} {old_wall:>8.3f}s -> {wall:>7.3f}s ({ratio:.2f}x)")
+
+
+def trajectory(history_dir, walls=False):
     """Prints per-sweep metric/wall series across a history of runs."""
     runs = sorted(d for d in os.listdir(history_dir)
                   if os.path.isdir(os.path.join(history_dir, d)))
@@ -165,13 +221,23 @@ def trajectory(history_dir):
                 for d in docs
             ]
             print(f"  {metric}: {' -> '.join(values)}")
-        walls = [
+        totals = [
             "-" if d is None or "timing" not in d
             else fmt(d["timing"].get("total_wall_seconds", "-"))
             for d in docs
         ]
-        if any(w != "-" for w in walls):
-            print(f"  total_wall_seconds: {' -> '.join(walls)}")
+        if any(w != "-" for w in totals):
+            print(f"  total_wall_seconds: {' -> '.join(totals)}")
+        if walls:
+            # Per-cell wall series (the --walls trajectory view).
+            per_doc = [{} if d is None else cell_walls(d) for d in docs]
+            cells = sorted({c for w in per_doc for c in w})
+            for cell in cells:
+                cell_series = [
+                    "-" if cell not in w else fmt(w[cell])
+                    for w in per_doc
+                ]
+                print(f"  wall[{cell}]: {' -> '.join(cell_series)}")
     return 0
 
 
@@ -182,12 +248,15 @@ def main():
     parser.add_argument("--trajectory", metavar="HISTORY_DIR",
                         help="render a run-history directory as per-metric series "
                              "instead of diffing two runs")
+    parser.add_argument("--walls", action="store_true",
+                        help="wall-time focus: per-sweep speedup table in diff "
+                             "mode, per-cell wall series in trajectory mode")
     parser.add_argument("old", nargs="?", help="baseline dir (or file) of BENCH_*.json")
     parser.add_argument("new", nargs="?", help="candidate dir (or file) of BENCH_*.json")
     args = parser.parse_args()
 
     if args.trajectory:
-        return trajectory(args.trajectory)
+        return trajectory(args.trajectory, walls=args.walls)
     if not args.old or not args.new:
         parser.error("OLD_DIR and NEW_DIR are required unless --trajectory is used")
 
@@ -206,6 +275,9 @@ def main():
                    args.wall_drift_pct, breakages, warnings)
     for name in sorted(set(new_benches) - set(old_benches)):
         print(f"info: new sweep '{name}' ({len(new_benches[name].get('cells', []))} cells)")
+
+    if args.walls:
+        walls_report(old_benches, new_benches)
 
     for message in warnings:
         annotate("warning", message)

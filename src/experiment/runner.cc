@@ -73,6 +73,12 @@ ScenarioResult RunScenario(const ScenarioSpec& spec, const PolicySpec& policy,
       break;
   }
 
+  SimPhaseProfile phase_profile;
+  if (options.profile) {
+    machine.SetProfile(&phase_profile);
+  }
+
+  const auto sim_wall_start = std::chrono::steady_clock::now();
   machine.Start();
 
   // Sentinel events align the clock exactly with the window boundaries.
@@ -84,6 +90,7 @@ ScenarioResult RunScenario(const ScenarioSpec& spec, const PolicySpec& policy,
   uint64_t events = sim.RunUntil(t_warm);
   machine.ResetAllMetrics();
   events += sim.RunUntil(t_end);
+  const auto sim_wall_end = std::chrono::steady_clock::now();
 
   ScenarioResult result;
   result.scenario = spec.name;
@@ -115,6 +122,18 @@ ScenarioResult RunScenario(const ScenarioSpec& spec, const PolicySpec& policy,
       result.pools.push_back(std::move(info));
     }
     result.plan_applications = aql_controller->plan_applications();
+  }
+
+  if (options.profile) {
+    // Phase attribution for the cell (aql_bench --profile): the simulation
+    // loop's wall time, split into event-core machinery, LLC/bus math and
+    // controller work; the unattributed remainder is workload-model and
+    // dispatch bookkeeping time.
+    result.profile["sim_seconds"] =
+        std::chrono::duration<double>(sim_wall_end - sim_wall_start).count();
+    result.profile["event_core_seconds"] = phase_profile.event_core.seconds;
+    result.profile["llc_seconds"] = phase_profile.llc_seconds;
+    result.profile["scheduler_seconds"] = phase_profile.scheduler_seconds;
   }
 
   const auto wall_end = std::chrono::steady_clock::now();

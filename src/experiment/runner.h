@@ -17,6 +17,10 @@ namespace aql {
 struct RunOptions {
   // Observes per-period vTRS cursors (AQL policy only).
   AqlController::TraceHook trace;
+  // Collects a wall-clock phase breakdown of the simulation (event-core /
+  // llc / scheduler) into ScenarioResult::profile. Observational only: the
+  // simulated results are bit-identical with or without it.
+  bool profile = false;
 };
 
 struct ScenarioResult {
@@ -30,6 +34,12 @@ struct ScenarioResult {
   TimeNs controller_overhead = 0;     // simulated bookkeeping cost
   uint64_t events_processed = 0;
   double wall_seconds = 0.0;
+  // RunOptions::profile only: wall-clock phase breakdown of the simulation
+  // ("sim_seconds", "event_core_seconds", "llc_seconds",
+  // "scheduler_seconds"). Nondeterministic timing data — emitted into cell
+  // JSON only alongside the other wall-clock fields, never into the
+  // --stable-json byte stream.
+  std::map<std::string, double> profile;
 
   // AQL policy only: final detected type per vCPU and the final pool layout.
   struct PoolInfo {

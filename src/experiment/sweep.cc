@@ -91,10 +91,11 @@ void SweepContext::Timing(const std::string& key, double value) {
 
 namespace {
 
-CellResult RunCell(const SweepCell& cell) {
+CellResult RunCell(const SweepCell& cell, const SweepOptions& sweep_options) {
   CellResult out;
   out.cell = cell;
   RunOptions options;
+  options.profile = sweep_options.profile;
   if (cell.trace_cursors) {
     auto* trace = &out.cursor_trace;
     options.trace = [trace](TimeNs, int vcpu, const CursorSet&, const CursorSet& avg) {
@@ -113,7 +114,7 @@ CellResult RunCell(const SweepCell& cell) {
 CellResult RunOrLoadCell(const std::string& sweep, const SweepCell& cell,
                          const SweepOptions& options, CellCache* cache) {
   if (cache == nullptr) {
-    return RunCell(cell);
+    return RunCell(cell, options);
   }
   CellCacheKey key;
   key.sweep = sweep;
@@ -126,7 +127,7 @@ CellResult RunOrLoadCell(const std::string& sweep, const SweepCell& cell,
     out.cell = cell;
     return out;
   }
-  out = RunCell(cell);
+  out = RunCell(cell, options);
   cache->Store(key, out);
   return out;
 }
@@ -212,8 +213,13 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
   // A shard holds an arbitrary subset of cells, so the render step (which
   // addresses cells by id across the whole sweep) only runs unsharded;
   // MergeFragments re-renders over the reassembled union.
+  double render_seconds = 0.0;
   if (!sharded && spec.render) {
+    const auto render_start = std::chrono::steady_clock::now();
     spec.render(ctx);
+    render_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - render_start)
+            .count();
   }
 
   SweepResult out;
@@ -229,6 +235,11 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
   out.shard_index = sharded ? options.shard_index : 0;
   out.shard_count = sharded ? options.shard_count : 0;
   out.total_cells = total_cells;
+  if (options.profile) {
+    // Completes the --profile phase picture: compute phases live in the
+    // per-cell `profile` objects, the render step is sweep-level.
+    out.timings.emplace_back("render_seconds", render_seconds);
+  }
   if (cache != nullptr) {
     // Cache effectiveness is run-environment state, not simulation output,
     // so it rides with the wall-clock timings (excluded from stable JSON).
@@ -318,6 +329,17 @@ JsonValue CellJson(const CellResult& cell, bool include_timing) {
   }
   if (include_timing) {
     out.Set("wall_seconds", r.wall_seconds);
+    if (!r.profile.empty()) {
+      // --profile phase breakdown. Wall-clock data: rides with the timing
+      // fields only, so --stable-json output stays byte-comparable whether
+      // or not the run was profiled (std::map keys keep emission order
+      // deterministic).
+      JsonValue profile = JsonValue::Object();
+      for (const auto& [k, v] : r.profile) {
+        profile.Set(k, v);
+      }
+      out.Set("profile", std::move(profile));
+    }
   }
   return out;
 }

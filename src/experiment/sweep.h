@@ -43,6 +43,11 @@ struct SweepOptions {
   // re-renders over the union (src/experiment/merge.h).
   int shard_index = 0;  // 1-based
   int shard_count = 0;
+  // Collect per-cell wall-clock phase breakdowns (`--profile`): each
+  // freshly-computed cell carries a `profile` object in timing-enabled JSON
+  // (docs/BENCH_FORMAT.md). Never present in --stable-json output, and never
+  // served from the cell cache (a cache hit did not simulate anything).
+  bool profile = false;
   // Cell-result cache directory (`--cache-dir`); empty disables caching.
   // See src/experiment/cell_cache.h for the key and invalidation contract.
   std::string cache_dir;

@@ -121,13 +121,9 @@ Vcpu* CreditScheduler::PickNext(int pcpu) {
   return queue(best_peer).PopBest();
 }
 
-bool CreditScheduler::RemoveFromAnyQueue(const Vcpu* v) {
-  for (auto& q : queues_) {
-    if (q.Remove(v)) {
-      return true;
-    }
-  }
-  return false;
+bool CreditScheduler::RemoveFromAnyQueue(Vcpu* v) {
+  // The intrusive linkage knows the holding queue directly: no scan.
+  return v->rq_owner != nullptr && v->rq_owner->Remove(v);
 }
 
 RunQueue& CreditScheduler::queue(int pcpu) {

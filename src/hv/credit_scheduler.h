@@ -72,7 +72,7 @@ class CreditScheduler {
   Vcpu* PickNext(int pcpu);
 
   // Removes `v` from whichever queue holds it; false if not queued.
-  bool RemoveFromAnyQueue(const Vcpu* v);
+  bool RemoveFromAnyQueue(Vcpu* v);
 
   RunQueue& queue(int pcpu);
   const RunQueue& queue(int pcpu) const;

@@ -1,6 +1,7 @@
 #include "src/hv/machine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -19,7 +20,21 @@ Machine::Machine(Simulation& sim, const MachineConfig& config)
                              : 0),
       sched_(config.topology.TotalPcpus(), config.credit),
       workload_rng_(config.seed ^ 0x5bd1e995u),
-      pcpus_(static_cast<size_t>(config.topology.TotalPcpus())) {}
+      pcpus_(static_cast<size_t>(config.topology.TotalPcpus())) {
+  for (size_t p = 0; p < pcpus_.size(); ++p) {
+    const int pcpu = static_cast<int>(p);
+    pcpus_[p].socket = config_.topology.SocketOf(pcpu);
+    // Slot registration consumes no sequence number, so the event order of a
+    // run is unchanged vs. scheduling segment events dynamically.
+    pcpus_[p].segment_slot = sim_.queue().RegisterSlot(
+        [this, pcpu](TimeNs) { OnSegmentEnd(pcpu); });
+  }
+}
+
+void Machine::SetProfile(SimPhaseProfile* profile) {
+  profile_ = profile;
+  sim_.queue().set_profile(profile != nullptr ? &profile->event_core : nullptr);
+}
 
 Machine::~Machine() = default;
 
@@ -103,8 +118,11 @@ TimeNs Machine::Now() const { return sim_.Now(); }
 Rng& Machine::WorkloadRng() { return workload_rng_; }
 
 void Machine::ScheduleTimer(TimeNs when, int vcpu_id, int tag) {
-  Vcpu* v = vcpu(vcpu_id);
-  sim_.At(when, [this, v, tag](TimeNs now) {
+  AQL_CHECK(vcpu_id >= 0 && vcpu_id < static_cast<int>(vcpus_.size()));
+  // Capture (this, id, tag): 16 trivially-copyable bytes, which fits the
+  // std::function small-buffer — timer arrivals stay allocation-free.
+  sim_.At(when, [this, vcpu_id, tag](TimeNs now) {
+    Vcpu* v = vcpus_[static_cast<size_t>(vcpu_id)];
     if (v->state == RunState::kFinished) {
       return;
     }
@@ -176,7 +194,7 @@ void Machine::Dispatch(int pcpu, Vcpu* v, bool switched) {
   s.pending_overhead = switched ? config_.hw.context_switch_cost : 0;
 
   // Cross-socket move loses the LLC footprint.
-  const int socket = config_.topology.SocketOf(pcpu);
+  const int socket = s.socket;
   if (v->footprint_socket != socket) {
     if (v->footprint_socket >= 0) {
       llc_.Remove(v->footprint_socket, v->id());
@@ -201,14 +219,20 @@ void Machine::BeginStep(int pcpu) {
   s.step_misses = 0;
   s.step_remote = 0;
   s.step_work = 0;
-  mem_bus_.SetDemand(config_.topology.SocketOf(pcpu), pcpu, 0.0);
+  // Invariant: this pCPU's bus demand is already 0 here. Demand is only set
+  // by the kCompute branch below, and every executing step ends through
+  // EndStep, which clears it — so the defensive re-clear this used to do was
+  // a no-op on every path.
 
   switch (s.step.kind) {
     case Step::Kind::kCompute: {
+      const auto llc_start = profile_ != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
       const MemProfile& mem = s.step.mem;
       const TimeNs work = std::max<TimeNs>(s.step.work, 1);
       const double refs_d = static_cast<double>(work) * mem.llc_refs_per_ns;
-      const int socket = config_.topology.SocketOf(pcpu);
+      const int socket = s.socket;
       const double miss_ratio = llc_.MissRatio(socket, v->id(), mem.wss_bytes);
       const uint64_t refs = static_cast<uint64_t>(refs_d);
       const uint64_t misses =
@@ -237,6 +261,11 @@ void Machine::BeginStep(int pcpu) {
       const double factor = mem_bus_.StallFactor(socket, demand);
       stall = static_cast<TimeNs>(static_cast<double>(stall) * factor);
       mem_bus_.SetDemand(socket, pcpu, demand);
+      if (profile_ != nullptr) {
+        profile_->llc_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - llc_start)
+                .count();
+      }
       s.step_work = work;
       s.step_refs = refs;
       s.step_misses = misses;
@@ -248,14 +277,13 @@ void Machine::BeginStep(int pcpu) {
       s.step_planned = work + stall + s.pending_overhead + s.step_debt;
       s.pending_overhead = 0;
       const TimeNs end = std::min(now + s.step_planned, s.quantum_end);
-      s.segment_event =
-          sim_.At(std::max(end, now + 1), [this, pcpu](TimeNs) { OnSegmentEnd(pcpu); });
+      sim_.queue().ArmSlot(s.segment_slot, std::max(end, now + 1));
       break;
     }
     case Step::Kind::kSpin: {
       s.step_planned = kTimeInfinite;
       const TimeNs end = std::max(s.quantum_end, now + 1);
-      s.segment_event = sim_.At(end, [this, pcpu](TimeNs) { OnSegmentEnd(pcpu); });
+      sim_.queue().ArmSlot(s.segment_slot, end);
       break;
     }
     case Step::Kind::kBlock: {
@@ -266,8 +294,8 @@ void Machine::BeginStep(int pcpu) {
       ChargeRuntime(pcpu, v);
       v->state = RunState::kFinished;
       v->boosted = false;
-      llc_.SetRunning(config_.topology.SocketOf(pcpu), v->id(), false);
-      llc_.Remove(config_.topology.SocketOf(pcpu), v->id());
+      llc_.SetRunning(s.socket, v->id(), false);
+      llc_.Remove(s.socket, v->id());
       s.current = nullptr;
       TryDispatch(pcpu);
       break;
@@ -278,7 +306,6 @@ void Machine::BeginStep(int pcpu) {
 void Machine::OnSegmentEnd(int pcpu) {
   PcpuState& s = pcpus_[static_cast<size_t>(pcpu)];
   AQL_CHECK(s.current != nullptr);
-  s.segment_event = kInvalidEventId;
   const TimeNs now = sim_.Now();
   const TimeNs elapsed = now - s.step_start;
 
@@ -335,8 +362,7 @@ void Machine::EndStep(int pcpu, bool completed) {
       v->pmu.llc_misses += misses;
       v->pmu.remote_accesses += remote;
       if (misses > 0) {
-        llc_.CommitAccesses(config_.topology.SocketOf(pcpu), v->id(), s.step.mem.wss_bytes,
-                            misses);
+        llc_.CommitAccesses(s.socket, v->id(), s.step.mem.wss_bytes, misses);
       }
       v->workload()->OnStepEnd(now, s.step, work_done, completed);
       break;
@@ -356,15 +382,15 @@ void Machine::EndStep(int pcpu, bool completed) {
       AQL_CHECK_MSG(false, "EndStep on non-executing step");
   }
   // The step no longer occupies the memory bus (the pCPU may go idle next).
-  mem_bus_.SetDemand(config_.topology.SocketOf(pcpu), pcpu, 0.0);
+  mem_bus_.SetDemand(s.socket, pcpu, 0.0);
 }
 
 void Machine::TruncateStep(int pcpu) {
   PcpuState& s = pcpus_[static_cast<size_t>(pcpu)];
   AQL_CHECK(s.current != nullptr);
-  AQL_CHECK_MSG(s.segment_event != kInvalidEventId, "no in-flight segment to truncate");
-  sim_.Cancel(s.segment_event);
-  s.segment_event = kInvalidEventId;
+  AQL_CHECK_MSG(sim_.queue().SlotArmed(s.segment_slot),
+                "no in-flight segment to truncate");
+  sim_.queue().DisarmSlot(s.segment_slot);
   EndStep(pcpu, /*completed=*/false);
 }
 
@@ -386,7 +412,7 @@ void Machine::DescheduleCurrent(int pcpu) {
   v->consumed_full_quantum = now >= s.quantum_end;
   v->boosted = false;
   ChargeRuntime(pcpu, v);
-  llc_.SetRunning(config_.topology.SocketOf(pcpu), v->id(), false);
+  llc_.SetRunning(s.socket, v->id(), false);
   s.current = nullptr;
 }
 
@@ -436,12 +462,14 @@ void Machine::BlockCurrent(int pcpu, TimeNs wake_at) {
 // ---------------------------------------------------------------------------
 // Wake path
 
-std::vector<bool> Machine::IdleFlags() const {
-  std::vector<bool> idle(pcpus_.size());
+const std::vector<bool>& Machine::IdleFlags() {
+  idle_scratch_.assign(pcpus_.size(), false);
   for (size_t p = 0; p < pcpus_.size(); ++p) {
-    idle[p] = pcpus_[p].current == nullptr;
+    if (pcpus_[p].current == nullptr) {
+      idle_scratch_[p] = true;
+    }
   }
-  return idle;
+  return idle_scratch_;
 }
 
 void Machine::WakeImpl(Vcpu* v, bool io_event) {
@@ -524,7 +552,15 @@ void Machine::OnAccounting(TimeNs now) {
 
 void Machine::OnMonitor(TimeNs now) {
   if (controller_ != nullptr) {
+    const auto sched_start = profile_ != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
     controller_->OnMonitorPeriod(*this, now);
+    if (profile_ != nullptr) {
+      profile_->scheduler_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - sched_start)
+              .count();
+    }
   }
   sim_.After(config_.monitor_period, [this](TimeNs t) { OnMonitor(t); });
 }
@@ -677,13 +713,16 @@ void Machine::Drain() {
   // themselves deferred into the next batch instead of interleaving with a
   // half-finished dispatch operation.
   processing_ = true;
-  while (!deferred_.empty()) {
-    std::vector<std::function<void()>> batch;
-    batch.swap(deferred_);
-    for (auto& f : batch) {
-      f();
-    }
+  // Index loop instead of batch-swapping vectors: operations deferred from
+  // inside a drained callback append behind the cursor and run in the same
+  // FIFO order as the old batch scheme, but the vector's capacity survives
+  // across drains (no per-drain allocation). Move each callback out before
+  // invoking it — the push_back it may trigger can reallocate the vector.
+  for (size_t i = 0; i < deferred_.size(); ++i) {
+    std::function<void()> f = std::move(deferred_[i]);
+    f();
   }
+  deferred_.clear();
   processing_ = false;
 }
 

@@ -55,6 +55,16 @@ struct MachineConfig {
   uint64_t seed = 42;
 };
 
+// Wall-clock attribution of simulation phases (aql_bench --profile): where
+// the engine spends host time while producing a cell. Purely observational —
+// attaching a sink never changes simulation results, only adds host-clock
+// reads around the instrumented sections.
+struct SimPhaseProfile {
+  EventCoreProfile event_core;  // pop machinery, excluding callbacks
+  double llc_seconds = 0.0;     // LLC/bus math in BeginStep
+  double scheduler_seconds = 0.0;  // controller monitor-period work
+};
+
 class Machine : public WorkloadHost {
  public:
   Machine(Simulation& sim, const MachineConfig& config);
@@ -105,6 +115,10 @@ class Machine : public WorkloadHost {
   // exactly inert. The cumulative counter (controller_overhead()) is kept
   // for reporting.
   void ChargeControllerOverhead(TimeNs cost);
+
+  // Attaches the phase-profile sink (nullptr detaches). Observational only;
+  // results are bit-identical with or without it.
+  void SetProfile(SimPhaseProfile* profile);
 
   // --- observability ---
   Simulation& sim() { return sim_; }
@@ -157,7 +171,11 @@ class Machine : public WorkloadHost {
     // evaporate the charge.
     TimeNs controller_debt = 0;
     TimeNs step_debt = 0;
-    EventId segment_event = kInvalidEventId;
+    // One-outstanding-deadline timer slot for this pCPU's segment/quantum
+    // events (registered once; arming/disarming is O(1) in the timer core).
+    EventQueue::SlotId segment_slot = -1;
+    // Socket of this pCPU, hoisted from Topology::SocketOf (hot path).
+    int socket = 0;
     // Accounting.
     TimeNs busy = 0;
     uint64_t dispatches = 0;
@@ -180,7 +198,9 @@ class Machine : public WorkloadHost {
   void WakeImpl(Vcpu* v, bool io_event);
   void KickImpl(Vcpu* v);
   void MaybePreempt(int pcpu);
-  std::vector<bool> IdleFlags() const;
+  // Fills and returns the reusable idle-flag scratch vector (wake path runs
+  // allocation-free in steady state).
+  const std::vector<bool>& IdleFlags();
 
   // Periodic events.
   void OnAccounting(TimeNs now);
@@ -210,6 +230,8 @@ class Machine : public WorkloadHost {
   bool started_ = false;
   bool processing_ = false;
   std::vector<std::function<void()>> deferred_;
+  std::vector<bool> idle_scratch_;
+  SimPhaseProfile* profile_ = nullptr;
 
   TimeNs measure_start_ = 0;
   TimeNs controller_overhead_ = 0;

@@ -19,6 +19,7 @@
 namespace aql {
 
 class Vm;
+class RunQueue;
 
 // Credit-scheduler priority classes, strongest first.
 enum class Priority {
@@ -82,6 +83,14 @@ class Vcpu {
 
   // Pending self-wake timer event (kBlock with finite wake_at).
   EventId wake_event = kInvalidEventId;
+
+  // --- run-queue linkage (owned by RunQueue) ---
+  // Intrusive list pointers: a runnable vCPU sits on exactly one queue, so
+  // enqueue/dequeue/removal are O(1) pointer splices with no allocation.
+  Vcpu* rq_prev = nullptr;
+  Vcpu* rq_next = nullptr;
+  RunQueue* rq_owner = nullptr;  // queue currently holding this vCPU
+  int rq_class = 0;              // priority class it was linked under
 
   // --- observability ---
   PmuCounters pmu;

@@ -18,6 +18,14 @@ double LlcModel::MissRatio(int socket, int vcpu, uint64_t wss_bytes) const {
     return params_.min_miss_ratio;
   }
   const SocketState& s = sockets_[static_cast<size_t>(socket)];
+  AQL_CHECK(vcpu >= 0);
+  if (static_cast<size_t>(vcpu) >= s.memo.size()) {
+    s.memo.resize(static_cast<size_t>(vcpu) + 1);
+  }
+  MissMemo& memo = s.memo[static_cast<size_t>(vcpu)];
+  if (memo.epoch == s.epoch && memo.wss == wss_bytes) {
+    return memo.ratio;
+  }
   uint64_t occ = 0;
   if (auto it = s.occupancy.find(vcpu); it != s.occupancy.end()) {
     occ = it->second;
@@ -26,7 +34,18 @@ double LlcModel::MissRatio(int socket, int vcpu, uint64_t wss_bytes) const {
   // hits. Residency can never exceed the WSS, so the ratio is within [0, 1].
   const double hit = static_cast<double>(std::min(occ, wss_bytes)) /
                      static_cast<double>(wss_bytes);
-  return std::max(params_.min_miss_ratio, 1.0 - hit);
+  memo.epoch = s.epoch;
+  memo.wss = wss_bytes;
+  memo.ratio = std::max(params_.min_miss_ratio, 1.0 - hit);
+  return memo.ratio;
+}
+
+void LlcModel::GrowTables(SocketState& s, int vcpu) {
+  AQL_CHECK(vcpu >= 0);
+  if (static_cast<size_t>(vcpu) >= s.running.size()) {
+    s.running.resize(static_cast<size_t>(vcpu) + 1, 0);
+    s.wss.resize(static_cast<size_t>(vcpu) + 1, 0);
+  }
 }
 
 void LlcModel::CommitAccesses(int socket, int vcpu, uint64_t wss_bytes, uint64_t misses) {
@@ -36,7 +55,8 @@ void LlcModel::CommitAccesses(int socket, int vcpu, uint64_t wss_bytes, uint64_t
   }
   SocketState& s = sockets_[static_cast<size_t>(socket)];
   uint64_t& occ = s.occupancy[vcpu];
-  s.wss[vcpu] = wss_bytes;
+  GrowTables(s, vcpu);
+  s.wss[static_cast<size_t>(vcpu)] = wss_bytes;
 
   const uint64_t limit = std::min(wss_bytes, capacity_);
   uint64_t fetched = misses * params_.cache_line_bytes;
@@ -49,6 +69,13 @@ void LlcModel::CommitAccesses(int socket, int vcpu, uint64_t wss_bytes, uint64_t
   const uint64_t grow = std::min(fetched, limit > occ ? limit - occ : 0);
   occ += grow;
   s.total += grow;
+  // Occupancy only changes when something grew (the socket total never
+  // exceeds capacity on entry, so eviction below implies grow > 0); advance
+  // the epoch exactly then, which is what lets warm steady-state steps keep
+  // hitting the MissRatio memo.
+  if (grow > 0) {
+    ++s.epoch;
+  }
 
   if (s.total <= capacity_) {
     return;
@@ -57,48 +84,54 @@ void LlcModel::CommitAccesses(int socket, int vcpu, uint64_t wss_bytes, uint64_t
   // recency-weighted occupancy. The fetching vCPU keeps what it just brought
   // in; vCPUs currently on-CPU keep most of their footprint (LRU keeps hot
   // lines resident), descheduled footprints decay at full weight.
-  uint64_t overflow = s.total - capacity_;
-  auto weight_of = [&](int id, uint64_t bytes) {
-    const auto it = s.running.find(id);
-    const bool running = it != s.running.end() && it->second;
+  //
+  // The victims (id != vcpu, bytes > 0) and their weights are captured in a
+  // single walk of the occupancy map; the eviction passes then run over the
+  // flat scratch array. Weights equal the old per-pass recomputation (values
+  // are untouched between the walk and each pass), and the scratch preserves
+  // the map's iteration order, so every share — including the residue drain
+  // below — is byte-identical to walking the map again.
+  const uint64_t overflow = s.total - capacity_;
+  auto& victims = s.evict_scratch;
+  victims.clear();
+  double weight_total = 0;
+  for (auto& [id, bytes] : s.occupancy) {
+    if (id == vcpu || bytes == 0) {
+      continue;
+    }
+    const bool running =
+        static_cast<size_t>(id) < s.running.size() && s.running[static_cast<size_t>(id)] != 0;
     // Recency protection only applies to cache-friendly working sets: a
     // streaming workload (WSS > capacity) touches each line once, so LRU
-    // offers its lines no protection even while it runs.
-    const auto wit = s.wss.find(id);
-    const bool friendly = wit != s.wss.end() && wit->second <= capacity_;
-    const bool protected_set = running && friendly;
-    return static_cast<double>(bytes) *
-           (protected_set ? params_.running_eviction_weight : 1.0);
-  };
-  double weight_total = 0;
-  for (const auto& [id, bytes] : s.occupancy) {
-    if (id != vcpu && bytes > 0) {
-      weight_total += weight_of(id, bytes);
-    }
+    // offers its lines no protection even while it runs. (A zero WSS entry
+    // means "never recorded", i.e. not friendly.)
+    const uint64_t w =
+        static_cast<size_t>(id) < s.wss.size() ? s.wss[static_cast<size_t>(id)] : 0;
+    const bool friendly = w != 0 && w <= capacity_;
+    const double weight =
+        static_cast<double>(bytes) *
+        (running && friendly ? params_.running_eviction_weight : 1.0);
+    victims.emplace_back(&bytes, weight);
+    weight_total += weight;
   }
   uint64_t evicted_sum = 0;
   if (weight_total > 0) {
-    for (auto& [id, bytes] : s.occupancy) {
-      if (id == vcpu || bytes == 0) {
-        continue;
-      }
-      uint64_t share = static_cast<uint64_t>(
-          static_cast<double>(overflow) * weight_of(id, bytes) / weight_total);
-      share = std::min(share, bytes);
-      bytes -= share;
+    for (const auto& [bytes, weight] : victims) {
+      uint64_t share = static_cast<uint64_t>(static_cast<double>(overflow) * weight /
+                                             weight_total);
+      share = std::min(share, *bytes);
+      *bytes -= share;
       evicted_sum += share;
     }
   }
   // Weight caps or rounding may leave a residue; drain remaining victims in
-  // arbitrary (hash) order.
+  // the same (hash) order.
   uint64_t residue = overflow > evicted_sum ? overflow - evicted_sum : 0;
   if (residue > 0) {
-    for (auto& [id, bytes] : s.occupancy) {
-      if (id == vcpu || bytes == 0) {
-        continue;
-      }
-      const uint64_t take = std::min(residue, bytes);
-      bytes -= take;
+    for (const auto& [bytes, weight] : victims) {
+      (void)weight;
+      const uint64_t take = std::min(residue, *bytes);
+      *bytes -= take;
       evicted_sum += take;
       residue -= take;
       if (residue == 0) {
@@ -119,17 +152,15 @@ void LlcModel::CommitAccesses(int socket, int vcpu, uint64_t wss_bytes, uint64_t
 void LlcModel::SetRunning(int socket, int vcpu, bool running) {
   AQL_CHECK(socket >= 0 && socket < static_cast<int>(sockets_.size()));
   SocketState& s = sockets_[static_cast<size_t>(socket)];
-  if (running) {
-    s.running[vcpu] = true;
-  } else {
-    s.running.erase(vcpu);
-  }
+  GrowTables(s, vcpu);
+  s.running[static_cast<size_t>(vcpu)] = running ? 1 : 0;
 }
 
 void LlcModel::Remove(int socket, int vcpu) {
   AQL_CHECK(socket >= 0 && socket < static_cast<int>(sockets_.size()));
   SocketState& s = sockets_[static_cast<size_t>(socket)];
-  s.running.erase(vcpu);
+  GrowTables(s, vcpu);
+  s.running[static_cast<size_t>(vcpu)] = 0;
   auto it = s.occupancy.find(vcpu);
   if (it == s.occupancy.end()) {
     return;
@@ -137,6 +168,7 @@ void LlcModel::Remove(int socket, int vcpu) {
   AQL_CHECK(s.total >= it->second);
   s.total -= it->second;
   s.occupancy.erase(it);
+  ++s.epoch;
 }
 
 uint64_t LlcModel::Occupancy(int socket, int vcpu) const {
@@ -154,21 +186,31 @@ uint64_t LlcModel::TotalOccupancy(int socket) const {
 MemBus::MemBus(int sockets, double bw_bytes_per_ns)
     : bw_(bw_bytes_per_ns),
       demand_(static_cast<size_t>(sockets)),
-      total_(static_cast<size_t>(sockets), 0.0) {
+      total_(static_cast<size_t>(sockets), 0.0),
+      epoch_(static_cast<size_t>(sockets), 1),
+      memo_(static_cast<size_t>(sockets)) {
   AQL_CHECK(sockets >= 1);
   AQL_CHECK(bw_bytes_per_ns >= 0.0);
 }
 
 void MemBus::SetDemand(int socket, int pcpu, double bytes_per_ns) {
   AQL_CHECK(socket >= 0 && socket < static_cast<int>(demand_.size()));
+  AQL_CHECK(pcpu >= 0);
   AQL_CHECK(bytes_per_ns >= 0.0);
   auto& per_pcpu = demand_[static_cast<size_t>(socket)];
-  double& slot = per_pcpu[pcpu];
+  if (static_cast<size_t>(pcpu) >= per_pcpu.size()) {
+    per_pcpu.resize(static_cast<size_t>(pcpu) + 1, 0.0);
+  }
+  double& slot = per_pcpu[static_cast<size_t>(pcpu)];
+  if (bytes_per_ns == slot) {
+    // No change: skipping the `total += new - old` of an exact zero delta is
+    // bit-safe (totals are never -0.0, so x + 0.0 == x), and it keeps the
+    // epoch stable for the StallFactor memo.
+    return;
+  }
   total_[static_cast<size_t>(socket)] += bytes_per_ns - slot;
   slot = bytes_per_ns;
-  if (bytes_per_ns == 0.0) {
-    per_pcpu.erase(pcpu);
-  }
+  ++epoch_[static_cast<size_t>(socket)];
 }
 
 double MemBus::TotalDemand(int socket) const {
@@ -180,8 +222,16 @@ double MemBus::StallFactor(int socket, double extra_demand) const {
   if (bw_ <= 0.0) {
     return 1.0;
   }
-  const double demand = TotalDemand(socket) + extra_demand;
-  return demand > bw_ ? demand / bw_ : 1.0;
+  AQL_CHECK(socket >= 0 && socket < static_cast<int>(total_.size()));
+  StallMemo& memo = memo_[static_cast<size_t>(socket)];
+  if (memo.epoch == epoch_[static_cast<size_t>(socket)] && memo.extra == extra_demand) {
+    return memo.factor;
+  }
+  const double demand = total_[static_cast<size_t>(socket)] + extra_demand;
+  memo.epoch = epoch_[static_cast<size_t>(socket)];
+  memo.extra = extra_demand;
+  memo.factor = demand > bw_ ? demand / bw_ : 1.0;
+  return memo.factor;
 }
 
 }  // namespace aql

@@ -31,6 +31,14 @@ class LlcModel {
 
   // Expected miss ratio if `vcpu` issues LLC references over a working set of
   // `wss_bytes` on `socket`, given its current resident occupancy.
+  //
+  // Memoized per (socket, vcpu, occupancy epoch, wss): the socket's epoch
+  // advances only when some occupancy on it actually changes (a growing
+  // commit, an eviction, a removal), so the steady warm state — where
+  // CommitAccesses finds nothing to grow — answers repeated queries from the
+  // cache without recomputing. The memo is invisible to results by
+  // construction: a hit returns the exact value the miss path computed for
+  // the same inputs.
   double MissRatio(int socket, int vcpu, uint64_t wss_bytes) const;
 
   // Commits the outcome of a compute step: `misses` lines were fetched by
@@ -53,12 +61,34 @@ class LlcModel {
   uint64_t capacity() const { return capacity_; }
 
  private:
-  struct SocketState {
-    std::unordered_map<int, uint64_t> occupancy;  // vcpu -> resident bytes
-    std::unordered_map<int, bool> running;        // vcpu -> on-CPU now
-    std::unordered_map<int, uint64_t> wss;        // vcpu -> last seen WSS
-    uint64_t total = 0;
+  struct MissMemo {
+    uint64_t epoch = 0;  // 0 never matches a socket epoch (those start at 1)
+    uint64_t wss = 0;
+    double ratio = 0.0;
   };
+  struct SocketState {
+    // The occupancy map stays the authority — eviction visits victims in its
+    // hash-iteration order, and that order is part of the deterministic
+    // byte-stable results (see CommitAccesses' residue drain). The running
+    // and WSS side-tables are never iterated, only point-read by vcpu id, so
+    // they live in flat vectors (0 = absent: a WSS is only ever recorded
+    // nonzero).
+    std::unordered_map<int, uint64_t> occupancy;  // vcpu -> resident bytes
+    std::vector<uint8_t> running;                 // vcpu -> on-CPU now
+    std::vector<uint64_t> wss;                    // vcpu -> last seen WSS
+    uint64_t total = 0;
+    // Bumped whenever any occupancy on the socket changes; validates memo.
+    uint64_t epoch = 1;
+    // MissRatio memo, indexed by vcpu id (grown on demand). Mutable: a
+    // logically-const cache of a pure function of (occupancy, wss).
+    mutable std::vector<MissMemo> memo;
+    // Eviction scratch: one (resident-bytes slot, weight) pair per victim,
+    // captured in map order so the overflow passes run over a flat array
+    // instead of re-walking the hash map. Reused across calls.
+    std::vector<std::pair<uint64_t*, double>> evict_scratch;
+  };
+
+  void GrowTables(SocketState& s, int vcpu);
 
   uint64_t capacity_;
   HwParams params_;
@@ -74,6 +104,13 @@ class LlcModel {
 // — the classic bandwidth-saturation slowdown streaming workloads inflict on
 // each other. With mem_bw_bytes_per_ns == 0 the bus is unmodeled and the
 // factor is always 1.
+//
+// Demand lives in flat per-socket vectors indexed by pcpu id (no hash
+// traffic on the step hot path), and the running totals are maintained with
+// the exact same incremental `total += new - old` arithmetic as before, so
+// the accumulated floating-point values are bit-identical. StallFactor is
+// memoized per (socket, demand epoch, extra demand); the epoch advances only
+// when a SetDemand actually changes a slot.
 class MemBus {
  public:
   MemBus(int sockets, double bw_bytes_per_ns);
@@ -92,11 +129,18 @@ class MemBus {
   double bandwidth() const { return bw_; }
 
  private:
+  struct StallMemo {
+    uint64_t epoch = 0;  // 0 never matches (socket epochs start at 1)
+    double extra = 0.0;
+    double factor = 1.0;
+  };
+
   double bw_;
-  // socket -> (pcpu -> demand). pCPU count per socket is small and fixed, so
-  // a flat map keyed by pcpu id is cheap and deterministic.
-  std::vector<std::unordered_map<int, double>> demand_;
+  // socket -> demand by pcpu id (grown on demand; ids are small and dense).
+  std::vector<std::vector<double>> demand_;
   std::vector<double> total_;
+  std::vector<uint64_t> epoch_;
+  mutable std::vector<StallMemo> memo_;  // logically-const cache
 };
 
 }  // namespace aql

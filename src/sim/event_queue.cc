@@ -1,5 +1,7 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/sim/check.h"
@@ -9,76 +11,164 @@ namespace aql {
 EventId EventQueue::ScheduleAt(TimeNs when, Callback cb) {
   AQL_CHECK_MSG(when >= now_, "event scheduled in the past");
   AQL_CHECK(cb != nullptr);
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  uint32_t index;
+  if (free_.empty()) {
+    index = static_cast<uint32_t>(slab_.size());
+    slab_.emplace_back();
+  } else {
+    index = free_.back();
+    free_.pop_back();
+  }
+  SlabEntry& entry = slab_[index];
+  entry.cb = std::move(cb);
+  entry.live = true;
+  heap_.push_back(HeapEntry{when, next_seq_++, index});
+  std::push_heap(heap_.begin(), heap_.end(), HeapLater);
   ++live_count_;
-  return id;
+  return MakeId(index, entry.generation);
 }
 
 bool EventQueue::Cancel(EventId id) {
   if (id == kInvalidEventId) {
     return false;
   }
-  // We cannot know cheaply whether `id` is still in the heap; track it in the
-  // tombstone set and reconcile at pop time. Guard against double-cancel by
-  // checking the set first.
-  if (cancelled_.count(id) != 0) {
+  const uint32_t index = static_cast<uint32_t>(id >> 32) - 1;
+  const uint32_t generation = static_cast<uint32_t>(id);
+  if (index >= slab_.size()) {
     return false;
   }
-  if (id >= next_id_) {
+  SlabEntry& entry = slab_[index];
+  if (!entry.live || entry.generation != generation) {
+    // Already fired, already cancelled, or the slab slot was recycled for a
+    // newer event: a checked no-op, nothing to leak or double-count.
     return false;
   }
-  cancelled_.insert(id);
+  entry.live = false;
+  entry.cb = nullptr;  // release captures now; the heap entry skims later
   AQL_CHECK(live_count_ > 0);
   --live_count_;
   return true;
 }
 
-void EventQueue::SkimCancelled() {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    auto it = cancelled_.find(top.id);
-    if (it == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(it);
-    heap_.pop();
+EventQueue::SlotId EventQueue::RegisterSlot(Callback cb) {
+  AQL_CHECK(cb != nullptr);
+  AQL_CHECK_MSG(!slot_callback_active_, "RegisterSlot from inside a slot callback");
+  Slot slot;
+  slot.cb = std::move(cb);
+  slots_.push_back(std::move(slot));
+  return static_cast<SlotId>(slots_.size()) - 1;
+}
+
+void EventQueue::ArmSlot(SlotId slot, TimeNs when) {
+  AQL_CHECK(slot >= 0 && slot < static_cast<SlotId>(slots_.size()));
+  AQL_CHECK_MSG(when >= now_, "slot armed in the past");
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  if (!s.armed) {
+    s.armed = true;
+    ++live_count_;
+  }
+  s.when = when;
+  s.seq = next_seq_++;
+}
+
+void EventQueue::DisarmSlot(SlotId slot) {
+  AQL_CHECK(slot >= 0 && slot < static_cast<SlotId>(slots_.size()));
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  if (s.armed) {
+    s.armed = false;
+    AQL_CHECK(live_count_ > 0);
+    --live_count_;
   }
 }
 
-bool EventQueue::Empty() const {
-  return live_count_ == 0;
+bool EventQueue::SlotArmed(SlotId slot) const {
+  AQL_CHECK(slot >= 0 && slot < static_cast<SlotId>(slots_.size()));
+  return slots_[static_cast<size_t>(slot)].armed;
+}
+
+void EventQueue::SkimDead() const {
+  while (!heap_.empty() && !slab_[heap_.front().index].live) {
+    SlabEntry& entry = slab_[heap_.front().index];
+    ++entry.generation;  // invalidate any still-outstanding id
+    free_.push_back(heap_.front().index);
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater);
+    heap_.pop_back();
+  }
+}
+
+EventQueue::Best EventQueue::FindBest() const {
+  SkimDead();
+  Best best;
+  if (!heap_.empty()) {
+    best.when = heap_.front().when;
+    best.seq = heap_.front().seq;
+    best.slot = -1;
+    best.any = true;
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.armed &&
+        (!best.any || s.when < best.when || (s.when == best.when && s.seq < best.seq))) {
+      best.when = s.when;
+      best.seq = s.seq;
+      best.slot = static_cast<int>(i);
+      best.any = true;
+    }
+  }
+  return best;
 }
 
 TimeNs EventQueue::NextTime() const {
-  // const_cast-free variant: we cannot skim from a const method, so scan via
-  // a copy of the top until a live entry is found. The heap top is live in
-  // the common case; worst case we pay for tombstones exactly once when a
-  // non-const method next runs.
-  if (live_count_ == 0) {
-    return kTimeInfinite;
-  }
-  // Safe: SkimCancelled only removes dead entries, observable state for live
-  // events is unchanged.
-  auto* self = const_cast<EventQueue*>(this);
-  self->SkimCancelled();
-  AQL_CHECK(!heap_.empty());
-  return heap_.top().when;
+  const Best best = FindBest();
+  return best.any ? best.when : kTimeInfinite;
 }
 
-bool EventQueue::RunNext() {
-  SkimCancelled();
-  if (heap_.empty()) {
+bool EventQueue::RunBest(TimeNs deadline) {
+  const auto profile_start = profile_ != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
+  // Flushes the pop-machinery time into the profile sink; called right
+  // before the callback runs, so callback execution stays unattributed here.
+  auto flush_profile = [&] {
+    if (profile_ != nullptr) {
+      profile_->seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - profile_start)
+              .count();
+      ++profile_->events;
+    }
+  };
+  const Best best = FindBest();
+  if (!best.any || best.when > deadline) {
     return false;
   }
-  // Move the callback out before popping; Entry is stored by value.
-  Entry top = heap_.top();
-  heap_.pop();
+  AQL_CHECK(best.when >= now_);
   AQL_CHECK(live_count_ > 0);
   --live_count_;
-  AQL_CHECK(top.when >= now_);
-  now_ = top.when;
-  top.cb(now_);
+  now_ = best.when;
+  if (best.slot >= 0) {
+    Slot& s = slots_[static_cast<size_t>(best.slot)];
+    s.armed = false;
+    flush_profile();
+    // The slot callback is stable storage (RegisterSlot is barred while it
+    // runs), and the slot is disarmed, so it may freely re-arm itself.
+    slot_callback_active_ = true;
+    s.cb(now_);
+    slot_callback_active_ = false;
+  } else {
+    const uint32_t index = heap_.front().index;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater);
+    heap_.pop_back();
+    SlabEntry& entry = slab_[index];
+    // Move the callback out before recycling: it may schedule new events
+    // that reuse this very slab slot.
+    Callback cb = std::move(entry.cb);
+    entry.live = false;
+    entry.cb = nullptr;
+    ++entry.generation;
+    free_.push_back(index);
+    flush_profile();
+    cb(now_);
+  }
   return true;
 }
 

@@ -1,6 +1,9 @@
 // Tests for the sweep engine: thread-count invariance of results (per-cell
-// RNG seeding), the sweep registry, JSON emission, and quick-mode scaling.
+// RNG seeding), the sweep registry, JSON emission, quick-mode scaling,
+// --profile containment, and byte-compares against the committed goldens.
 
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -199,6 +202,66 @@ TEST(SweepEngineTest, Table3xQuickRunIsThreadCountInvariant) {
   EXPECT_EQ(SweepJson(r1, /*include_timing=*/false).Dump(),
             SweepJson(r4, /*include_timing=*/false).Dump());
 }
+
+TEST(SweepEngineTest, ProfileNeverEntersStableJson) {
+  // --profile collects wall-clock phase breakdowns, which are inherently
+  // nondeterministic; they must ride with the timing fields only, so a
+  // profiled run's --stable-json output is byte-identical to an unprofiled
+  // one.
+  SweepOptions plain;
+  plain.jobs = 1;
+  SweepOptions profiled = plain;
+  profiled.profile = true;
+
+  const SweepResult r_plain = RunSweep(TinySpec(), plain);
+  const SweepResult r_profiled = RunSweep(TinySpec(), profiled);
+
+  for (const CellResult& cell : r_profiled.cells) {
+    EXPECT_FALSE(cell.result.profile.empty()) << cell.cell.id;
+  }
+  const std::string stable_plain = SweepJson(r_plain, /*include_timing=*/false).Dump();
+  const std::string stable_profiled =
+      SweepJson(r_profiled, /*include_timing=*/false).Dump();
+  EXPECT_EQ(stable_plain, stable_profiled);
+  EXPECT_EQ(stable_profiled.find("\"profile\""), std::string::npos);
+  // With timing enabled the breakdown is present.
+  const std::string timed = SweepJson(r_profiled, /*include_timing=*/true).Dump();
+  EXPECT_NE(timed.find("\"profile\""), std::string::npos);
+  EXPECT_NE(timed.find("\"event_core_seconds\""), std::string::npos);
+  EXPECT_NE(timed.find("\"render_seconds\""), std::string::npos);
+}
+
+#ifdef AQL_GOLDEN_DIR
+// Byte-compares a quick-mode --stable-json run of `sweep` against the golden
+// captured from main before the engine overhaul (tests/goldens/README.md).
+// CI's bench-merge job covers all registered sweeps the same way; here we
+// pin two cheap representative ones into every ctest run.
+void ExpectMatchesGolden(const char* sweep) {
+  const SweepSpec* spec = SweepRegistry::Instance().Find(sweep);
+  ASSERT_NE(spec, nullptr) << sweep;
+  SweepOptions options;
+  options.quick = true;
+  options.jobs = 1;
+  const SweepResult result = RunSweep(*spec, options);
+  const std::string path =
+      std::string(AQL_GOLDEN_DIR) + "/quick/BENCH_" + sweep + ".json";
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good()) << "missing golden: " << path;
+  std::ostringstream golden;
+  golden << f.rdbuf();
+  EXPECT_EQ(SweepJson(result, /*include_timing=*/false).Dump(), golden.str())
+      << sweep << ": stable JSON diverged from the committed golden — the "
+      << "engine changed results, not just speed";
+}
+
+TEST(GoldenTest, Table5QuickMatchesCommittedGolden) {
+  ExpectMatchesGolden("table5_clusters");
+}
+
+TEST(GoldenTest, Fig4QuickMatchesCommittedGolden) {
+  ExpectMatchesGolden("fig4_vtrs_traces");
+}
+#endif  // AQL_GOLDEN_DIR
 
 TEST(SweepOptionsTest, QuickModeScalesWindows) {
   SweepOptions full;
