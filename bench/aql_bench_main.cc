@@ -20,6 +20,9 @@
 //                    round-robin over their deterministic expansion order,
 //                    the render step is skipped, and the output is a
 //                    BENCH_<name>.shard<K>of<N>.json fragment for `merge`
+//   --cell ID        run a single cell by id (render skipped); for CI perf
+//                    probes that time one full-mode cell without paying for
+//                    its siblings. Mutually exclusive with --shard.
 //   --cache-dir DIR  reuse cached cell results (content-addressed on the
 //                    cell's configuration; see docs/BENCH_FORMAT.md)
 //
@@ -62,7 +65,7 @@ void Usage(FILE* out) {
   std::fprintf(out,
                "usage: aql_bench (--list | --all | --run <name>...) "
                "[--jobs N] [--quick] [--out DIR] [--stable-json] [--no-json] "
-               "[--profile] [--shard K/N] [--cache-dir DIR]\n"
+               "[--profile] [--shard K/N] [--cell ID] [--cache-dir DIR]\n"
                "       aql_bench merge [--out DIR] [--timing] <fragment.json>...\n"
                "       aql_bench cache-gc --cache-dir DIR --max-bytes N\n");
 }
@@ -272,6 +275,8 @@ int Main(int argc, char** argv) {
       }
       options.shard_index = k;
       options.shard_count = n;
+    } else if (arg == "--cell") {
+      options.only_cell = value();
     } else if (arg == "--cache-dir") {
       options.cache_dir = value();
     } else if (arg == "--help" || arg == "-h") {
@@ -300,6 +305,14 @@ int Main(int argc, char** argv) {
   }
 
   const bool sharded = options.shard_count > 0;
+  if (sharded && !options.only_cell.empty()) {
+    std::fprintf(stderr, "aql_bench: --cell and --shard are mutually exclusive\n");
+    return 2;
+  }
+  if (!options.only_cell.empty() && names.size() != 1) {
+    std::fprintf(stderr, "aql_bench: --cell wants exactly one --run sweep\n");
+    return 2;
+  }
   if (sharded && !write_json) {
     std::fprintf(stderr, "aql_bench: --shard produces fragment JSON; "
                          "--no-json makes a sharded run pointless\n");

@@ -155,18 +155,29 @@ def cell_walls(doc):
 
 
 def walls_report(old_benches, new_benches):
-    """Per-sweep wall-time comparison table (the --walls diff view)."""
+    """Per-sweep wall-time comparison table (the --walls diff view).
+
+    Sweeps present only in the new run (a PR adding a sweep compares against
+    a baseline that predates it) still get a row: old columns show '-' and
+    the speedup column is blank, so new work is visible without pretending
+    there is a baseline for it.
+    """
     rows = []
-    for name in sorted(set(old_benches) & set(new_benches)):
-        old_w = cell_walls(old_benches[name])
+    for name in sorted(new_benches):
         new_w = cell_walls(new_benches[name])
-        shared = sorted(set(old_w) & set(new_w))
-        if not shared:
+        if not new_w:
             continue
-        old_total = sum(old_w[c] for c in shared)
-        new_total = sum(new_w[c] for c in shared)
-        speedup = old_total / new_total if new_total > 0 else float("inf")
-        rows.append((name, len(shared), old_total, new_total, speedup))
+        old_doc = old_benches.get(name)
+        old_w = cell_walls(old_doc) if old_doc is not None else {}
+        shared = sorted(set(old_w) & set(new_w))
+        if shared:
+            old_total = sum(old_w[c] for c in shared)
+            new_total = sum(new_w[c] for c in shared)
+            speedup = old_total / new_total if new_total > 0 else float("inf")
+            rows.append((name, len(shared), old_total, new_total, speedup))
+        else:
+            # No comparable baseline cells: report the new walls alone.
+            rows.append((name, len(new_w), None, sum(new_w.values()), None))
     if not rows:
         print("walls: no sweeps with comparable per-cell wall times")
         return
@@ -176,6 +187,9 @@ def walls_report(old_benches, new_benches):
     print("-" * len(header))
     total_old = total_new = 0.0
     for name, n, old_total, new_total, speedup in rows:
+        if old_total is None:
+            print(f"{name:<22} {n:>5} {'-':>9} {new_total:>9.3f} {'':>8}")
+            continue
         total_old += old_total
         total_new += new_total
         print(f"{name:<22} {n:>5} {old_total:>9.3f} {new_total:>9.3f} {speedup:>7.2f}x")
@@ -183,18 +197,22 @@ def walls_report(old_benches, new_benches):
     print("-" * len(header))
     print(f"{'TOTAL':<22} {'':>5} {total_old:>9.3f} {total_new:>9.3f} {overall:>7.2f}x")
 
-    # Slowest cells of the new run, with their old walls: a single-cell
-    # regression must not be able to hide inside a sweep total.
+    # Slowest cells of the new run, with their old walls ('-' for cells the
+    # baseline never ran): a single-cell regression must not be able to hide
+    # inside a sweep total.
     slowest = []
-    for name in sorted(set(old_benches) & set(new_benches)):
-        old_w = cell_walls(old_benches[name])
+    for name in sorted(new_benches):
+        old_doc = old_benches.get(name)
+        old_w = cell_walls(old_doc) if old_doc is not None else {}
         for cell, wall in cell_walls(new_benches[name]).items():
-            if cell in old_w:
-                slowest.append((wall, f"{name}:{cell}", old_w[cell]))
-    slowest.sort(reverse=True)
+            slowest.append((wall, f"{name}:{cell}", old_w.get(cell)))
+    slowest.sort(key=lambda t: (t[0], t[1]), reverse=True)
     if slowest:
         print("\nslowest cells (new run):")
         for wall, label, old_wall in slowest[:10]:
+            if old_wall is None:
+                print(f"  {label:<48} {'-':>8}  -> {wall:>7.3f}s")
+                continue
             ratio = old_wall / wall if wall > 0 else float("inf")
             print(f"  {label:<48} {old_wall:>8.3f}s -> {wall:>7.3f}s ({ratio:.2f}x)")
 

@@ -18,7 +18,7 @@ namespace aql {
 
 namespace {
 
-inline constexpr int kCellCacheSchemaVersion = 1;
+inline constexpr int kCellCacheSchemaVersion = 2;
 
 uint64_t Fnv1a(const void* data, size_t n, uint64_t h) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
@@ -83,8 +83,41 @@ std::string PolicyConfigText(const PolicySpec& policy) {
   return os.str();
 }
 
+// Serializes the machine knobs the scenario JSON cannot see: the full
+// topology, hardware cost parameters, Credit scheduler parameters and the
+// monitoring period. Without these in the fingerprint, two sweeps building
+// the same VM list on differently-tuned machines would alias — and with
+// them, the fingerprint is a complete scenario description, which is what
+// licenses dropping sweep/cell-id from the cache key.
+std::string MachineConfigText(const MachineConfig& mc) {
+  std::ostringstream os;
+  const Topology& t = mc.topology;
+  os << t.sockets << '|' << t.cores_per_socket << '|' << t.l1_bytes << '|'
+     << t.l2_bytes << '|' << t.llc_bytes << '|' << t.numa_local_distance << '|'
+     << t.numa_remote_distance << '|' << t.mem_bw_bytes_per_ns;
+  const HwParams& hw = mc.hw;
+  os << '|' << hw.llc_miss_penalty << '|' << hw.context_switch_cost << '|'
+     << hw.pause_exit_interval << '|' << hw.min_miss_ratio << '|'
+     << hw.cache_line_bytes << '|' << hw.running_eviction_weight << '|'
+     << hw.stream_insertion_fraction;
+  const CreditParams& cr = mc.credit;
+  os << '|' << cr.accounting_period << '|' << cr.default_quantum << '|'
+     << cr.boost_enabled << '|' << cr.credit_cap_factor;
+  os << '|' << mc.monitor_period;
+  return os.str();
+}
+
 uint64_t CellConfigFingerprint(const SweepCell& cell) {
   std::string text = ScenarioJson(cell.scenario).Dump();
+  text += '\n';
+  text += MachineConfigText(cell.scenario.machine);
+  // The one fleet knob the scenario JSON omits (it only matters when the
+  // host template declares no memory bandwidth).
+  if (cell.scenario.fleet.hosts > 0) {
+    std::ostringstream os;
+    os << "|fleet_bw=" << cell.scenario.fleet.migration.fallback_bw_bytes_per_ns;
+    text += os.str();
+  }
   text += '\n';
   text += PolicyConfigText(cell.policy);
   if (cell.trace_cursors) {
@@ -100,9 +133,8 @@ CellCache::CellCache(std::string dir, uint64_t config_hash)
 uint64_t CellCache::DefaultConfigHash() { return Fnv1a(kCellCacheEngineVersion); }
 
 uint64_t CellCache::HashKey(const CellCacheKey& key) const {
-  uint64_t h = Fnv1a(key.sweep);
-  h = Fnv1a(key.cell_id, h);
-  h = Fnv1a(&key.derived_seed, sizeof(key.derived_seed), h);
+  uint64_t h = Fnv1a(&key.derived_seed, sizeof(key.derived_seed),
+                     14695981039346656037ULL);
   const uint64_t quick = key.quick ? 1 : 0;
   h = Fnv1a(&quick, sizeof(quick), h);
   h = Fnv1a(&config_hash_, sizeof(config_hash_), h);
@@ -111,7 +143,7 @@ uint64_t CellCache::HashKey(const CellCacheKey& key) const {
 }
 
 std::string CellCache::PathFor(const CellCacheKey& key) const {
-  return dir_ + "/" + key.sweep + "/" + HexHash(HashKey(key)) + ".json";
+  return dir_ + "/cells/" + HexHash(HashKey(key)) + ".json";
 }
 
 bool CellCache::Load(const CellCacheKey& key, CellResult* out) {
@@ -129,18 +161,17 @@ bool CellCache::Load(const CellCacheKey& key, CellResult* out) {
     return false;
   }
   // Verify the stored key tuple: a filename collision or a hand-copied
-  // entry must degrade to a miss, never to a wrong result.
+  // entry must degrade to a miss, never to a wrong result. The record's
+  // cell id / sweep labels are NOT verified — an entry may legitimately
+  // have been computed by a different sweep for an identical cell, and the
+  // caller re-stamps its own cell configuration.
   const JsonValue* schema = doc.Find("cache_schema");
-  const JsonValue* sweep = doc.Find("sweep");
-  const JsonValue* cell = doc.Find("cell");
   const JsonValue* seed = doc.Find("seed");
   const JsonValue* quick = doc.Find("quick");
   const JsonValue* config = doc.Find("config_hash");
   const JsonValue* cell_config = doc.Find("cell_config");
   const JsonValue* record = doc.Find("record");
   if (!UintEquals(schema, kCellCacheSchemaVersion) ||
-      sweep == nullptr || !sweep->IsString() || sweep->AsString() != key.sweep ||
-      cell == nullptr || !cell->IsString() || cell->AsString() != key.cell_id ||
       !UintEquals(seed, key.derived_seed) ||
       quick == nullptr || !quick->IsBool() || quick->AsBool() != key.quick ||
       !UintEquals(config, config_hash_) ||
@@ -150,7 +181,7 @@ bool CellCache::Load(const CellCacheKey& key, CellResult* out) {
     return false;
   }
   CellResult parsed;
-  if (!CellRecordFromJson(*record, &parsed, &error) || parsed.cell.id != key.cell_id) {
+  if (!CellRecordFromJson(*record, &parsed, &error)) {
     misses_.fetch_add(1);
     return false;
   }
@@ -169,8 +200,6 @@ void CellCache::Store(const CellCacheKey& key, const CellResult& cell) {
 
   JsonValue doc = JsonValue::Object();
   doc.Set("cache_schema", kCellCacheSchemaVersion)
-      .Set("sweep", key.sweep)
-      .Set("cell", key.cell_id)
       .Set("seed", key.derived_seed)
       .Set("quick", key.quick)
       .Set("config_hash", config_hash_)

@@ -2,26 +2,27 @@
 //
 // Cells are pure functions of (scenario, policy, derived seed), so a sweep
 // never needs to recompute a cell whose configuration it has run before —
-// across repeats of a run, across shard/merge pipelines, and across
-// commits while the engine is unchanged. Entries live one-per-file under
-// the cache directory, addressed by a 64-bit FNV-1a hash of the key tuple
+// across repeats of a run, across shard/merge pipelines, across commits
+// while the engine is unchanged, and across *sweeps*: two sweeps that build
+// the identical cell (same expanded scenario, machine configuration, policy
+// and seed) share one entry. Entries live one-per-file under
+// `<dir>/cells/`, addressed by a 64-bit FNV-1a hash of the key tuple
 //
-//   (sweep, cell-id, derived-seed, quick, config-hash, cell-config-fp)
+//   (derived-seed, quick, config-hash, cell-config-fp)
 //
 // and store the complete serialized result (the fragment cell-record format
 // of src/experiment/merge.h), so a hit is bit-identical to recomputation.
-// The cell-config fingerprint (CellConfigFingerprint) hashes the cell's
-// expanded scenario description, the policy configuration (label, quanta,
-// every AqlConfig knob — cells can differ only in those) and the trace
-// flag, so editing a sweep's cell parameters invalidates its entries even
-// when the id stays; configuration the fingerprint cannot see (machine
-// knobs beyond the scenario JSON, or simulation-code changes) still relies
-// on the engine-version bump below.
-// The sweep name is part of the key because cell ids are only unique within
-// a sweep; two sweeps that build equivalent rigs (fig5/table3 both use the
-// validation rig) still get separate entries, since neither ids nor the
-// serialized records carry enough configuration to prove cross-sweep cells
-// identical.
+// The cell-config fingerprint (CellConfigFingerprint) is a *full* scenario
+// fingerprint: the expanded scenario description (ScenarioJson, including
+// the fleet block), the complete machine configuration (topology, HwParams,
+// CreditParams, monitoring period — the knobs the scenario JSON alone
+// cannot see), the policy configuration (label, quanta, every AqlConfig
+// knob) and the trace flag. Sweep name and cell id are deliberately NOT
+// part of the key: they are labels, not inputs to the simulation, and
+// keeping them out is what lets equivalent cells dedup across sweeps (the
+// caller re-stamps its own cell configuration on a hit). Editing a sweep's
+// cell parameters still invalidates its entries even when the id stays,
+// because the parameters are the key.
 //
 // Invalidation: the key's config-hash defaults to a fingerprint of the
 // engine version below — bump kCellCacheEngineVersion whenever simulation
@@ -46,23 +47,26 @@
 namespace aql {
 
 // Bump on any change to simulation semantics or the record layout; doing so
-// orphans (not corrupts) every existing cache entry.
-inline constexpr const char* kCellCacheEngineVersion = "aql-cell-cache-v2";
+// orphans (not corrupts) every existing cache entry. v3: sweep/cell-id left
+// the key (cross-sweep dedup) and the fingerprint grew the full machine
+// configuration.
+inline constexpr const char* kCellCacheEngineVersion = "aql-cell-cache-v3";
 
 struct CellCacheKey {
-  std::string sweep;
-  std::string cell_id;
   uint64_t derived_seed = 0;
   bool quick = false;
   uint64_t config_fingerprint = 0;  // CellConfigFingerprint(cell)
 };
 
-// Fingerprint of a cell's executable configuration: FNV-1a over the
-// serialized scenario description (ScenarioJson), the full policy
-// configuration (kind, quanta, AqlConfig including vTRS limits,
-// calibration and the NUMA response knobs) and the trace flag. Guards the
-// cache against a sweep registration changing a cell's parameters while
-// keeping its id.
+// Full fingerprint of a cell's executable configuration: FNV-1a over the
+// serialized scenario description (ScenarioJson, including the fleet
+// block), the complete machine configuration (topology, HwParams,
+// CreditParams, monitoring period), the full policy configuration (kind,
+// quanta, AqlConfig including vTRS limits, calibration and the NUMA
+// response knobs) and the trace flag. Two cells with equal fingerprints
+// (and seeds) simulate identically, which is what makes cross-sweep entry
+// sharing sound; it also guards the cache against a sweep registration
+// changing a cell's parameters while keeping its id.
 uint64_t CellConfigFingerprint(const SweepCell& cell);
 
 class CellCache {
@@ -73,11 +77,14 @@ class CellCache {
   // FNV-1a of kCellCacheEngineVersion.
   static uint64_t DefaultConfigHash();
 
-  // Entry path for a key: <dir>/<sweep>/<16-hex-digit-hash>.json.
+  // Entry path for a key: <dir>/cells/<16-hex-digit-hash>.json. One shared
+  // subdirectory — entries are sweep-agnostic by design.
   std::string PathFor(const CellCacheKey& key) const;
 
-  // Fills result + cursor_trace (not the cell configuration) on a hit.
-  // Absent, corrupt or key-mismatched entries count as misses.
+  // Fills the result (and cursor trace) on a hit; the caller re-stamps its
+  // own cell configuration (on a cross-sweep hit the stored labels belong
+  // to whichever sweep computed the entry first). Absent, corrupt or
+  // key-mismatched entries count as misses.
   bool Load(const CellCacheKey& key, CellResult* out);
 
   // Persists a computed cell. Failures to write are silently ignored (the

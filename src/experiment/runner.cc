@@ -16,8 +16,136 @@ double ScenarioResult::GroupPrimary(const std::string& group) const {
   return FindGroup(groups, group).primary;
 }
 
+namespace {
+
+// Builds the per-host controller a PolicySpec describes; shared by the
+// single-machine path (inline) and the fleet path (as a factory invoked per
+// host build). Returns nullptr for native Xen.
+std::unique_ptr<SchedController> MakeController(const PolicySpec& policy,
+                                                const std::vector<int>& io_vcpus,
+                                                const RunOptions& options) {
+  switch (policy.kind) {
+    case PolicySpec::Kind::kXen:
+      return nullptr;
+    case PolicySpec::Kind::kAql: {
+      auto ctl = std::make_unique<AqlController>(policy.aql);
+      if (options.trace) {
+        ctl->set_trace_hook(options.trace);
+      }
+      return ctl;
+    }
+    case PolicySpec::Kind::kMicrosliced:
+      return std::make_unique<MicroslicedController>(policy.small_quantum);
+    case PolicySpec::Kind::kVSlicer:
+      return std::make_unique<VSlicerController>(io_vcpus, policy.small_quantum);
+    case PolicySpec::Kind::kVTurbo:
+      return std::make_unique<VTurboController>(io_vcpus, policy.turbo_pcpus,
+                                                policy.small_quantum);
+  }
+  return nullptr;
+}
+
+// Fleet dispatch: maps the FleetResult into the ScenarioResult shape the
+// sweep/JSON/merge/cache layers already understand. Groups carry three
+// tiers, in order: per-application fleet aggregates (so renderers address
+// them exactly like single-machine cells), one "hostN" group per host with
+// the per-host metrics schema of docs/BENCH_FORMAT.md, and one "fleet"
+// summary group.
+ScenarioResult RunFleetScenario(const ScenarioSpec& spec, const PolicySpec& policy,
+                                const RunOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  MachineConfig mc = spec.machine;
+  if (policy.kind == PolicySpec::Kind::kXen) {
+    mc.credit.default_quantum = policy.xen_quantum;
+  }
+
+  FleetSpec fleet;
+  fleet.host_template = mc;
+  fleet.config = spec.fleet;
+  fleet.warmup = spec.warmup;
+  fleet.measure = spec.measure;
+  for (const VmSpec& vs : spec.vms) {
+    fleet.vms.push_back(FleetVmSpec{vs.app, vs.vcpus, vs.weight, vs.cap_percent,
+                                    vs.fifo_lock});
+  }
+  // Per-host controllers are rebuilt with the host on every migration
+  // (detection state restarts cold, like the caches — the realistic
+  // post-migration penalty).
+  RunOptions host_options = options;
+  host_options.trace = nullptr;  // cursor traces are single-machine only
+  fleet.controller_factory = [&policy, &host_options](const std::vector<int>& io_vcpus) {
+    return MakeController(policy, io_vcpus, host_options);
+  };
+
+  SimPhaseProfile phase_profile;
+  if (options.profile) {
+    fleet.profile = &phase_profile;
+  }
+
+  const auto sim_wall_start = std::chrono::steady_clock::now();
+  FleetResult fr = RunFleet(fleet);
+  const auto sim_wall_end = std::chrono::steady_clock::now();
+
+  ScenarioResult result;
+  result.scenario = spec.name;
+  result.policy = policy.Label();
+  result.groups = std::move(fr.app_groups);
+  result.measure_window = fr.measure_window;
+  result.cpu_utilization = fr.cpu_utilization;
+  result.controller_overhead = fr.controller_overhead;
+  result.events_processed = fr.events_processed;
+
+  int drained_hosts = 0;
+  for (size_t h = 0; h < fr.hosts.size(); ++h) {
+    const FleetHostStats& hs = fr.hosts[h];
+    GroupPerf g;
+    g.name = "host" + std::to_string(h);
+    g.vcpus = hs.vcpus;
+    g.metrics["cpu_utilization"] = hs.cpu_utilization;
+    g.metrics["events"] = static_cast<double>(hs.events);
+    g.metrics["migrations_in"] = static_cast<double>(hs.migrations_in);
+    g.metrics["migrations_out"] = static_cast<double>(hs.migrations_out);
+    g.metrics["migration_bytes_in"] = static_cast<double>(hs.migration_bytes_in);
+    g.metrics["migration_bytes_out"] = static_cast<double>(hs.migration_bytes_out);
+    g.metrics["migration_charge_ms"] = ToMs(hs.migration_charge);
+    g.metrics["drained"] = hs.drained ? 1.0 : 0.0;
+    if (hs.drained) {
+      ++drained_hosts;
+    }
+    result.groups.push_back(std::move(g));
+  }
+  GroupPerf fleet_group;
+  fleet_group.name = "fleet";
+  fleet_group.vcpus = fr.vcpus_total;
+  fleet_group.metrics["hosts"] = static_cast<double>(fr.hosts.size());
+  fleet_group.metrics["drained_hosts"] = static_cast<double>(drained_hosts);
+  fleet_group.metrics["migrations"] = static_cast<double>(fr.migrations);
+  fleet_group.metrics["migration_bytes"] = static_cast<double>(fr.migration_bytes);
+  fleet_group.metrics["migration_charge_ms"] = ToMs(fr.migration_charge);
+  result.groups.push_back(std::move(fleet_group));
+
+  if (options.profile) {
+    result.profile["sim_seconds"] =
+        std::chrono::duration<double>(sim_wall_end - sim_wall_start).count();
+    result.profile["event_core_seconds"] = phase_profile.event_core.seconds;
+    result.profile["llc_seconds"] = phase_profile.llc_seconds;
+    result.profile["scheduler_seconds"] = phase_profile.scheduler_seconds;
+  }
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  return result;
+}
+
+}  // namespace
+
 ScenarioResult RunScenario(const ScenarioSpec& spec, const PolicySpec& policy,
                            const RunOptions& options) {
+  if (spec.fleet.hosts > 0) {
+    return RunFleetScenario(spec, policy, options);
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
 
   MachineConfig mc = spec.machine;
@@ -48,29 +176,12 @@ ScenarioResult RunScenario(const ScenarioSpec& spec, const PolicySpec& policy,
   }
 
   AqlController* aql_controller = nullptr;
-  switch (policy.kind) {
-    case PolicySpec::Kind::kXen:
-      break;
-    case PolicySpec::Kind::kAql: {
-      auto ctl = std::make_unique<AqlController>(policy.aql);
-      if (options.trace) {
-        ctl->set_trace_hook(options.trace);
-      }
-      aql_controller = ctl.get();
-      machine.SetController(std::move(ctl));
-      break;
+  std::unique_ptr<SchedController> controller = MakeController(policy, io_vcpus, options);
+  if (controller != nullptr) {
+    if (policy.kind == PolicySpec::Kind::kAql) {
+      aql_controller = static_cast<AqlController*>(controller.get());
     }
-    case PolicySpec::Kind::kMicrosliced:
-      machine.SetController(std::make_unique<MicroslicedController>(policy.small_quantum));
-      break;
-    case PolicySpec::Kind::kVSlicer:
-      machine.SetController(
-          std::make_unique<VSlicerController>(io_vcpus, policy.small_quantum));
-      break;
-    case PolicySpec::Kind::kVTurbo:
-      machine.SetController(std::make_unique<VTurboController>(io_vcpus, policy.turbo_pcpus,
-                                                               policy.small_quantum));
-      break;
+    machine.SetController(std::move(controller));
   }
 
   SimPhaseProfile phase_profile;

@@ -193,6 +193,41 @@ ScenarioSpec ColocationScenario(int index, uint64_t seed) {
   return spec;
 }
 
+MachineConfig FleetHostMachine(uint64_t seed) {
+  MachineConfig mc;
+  mc.topology = MakeE54603Topology();
+  mc.topology.sockets = 1;
+  mc.seed = seed;
+  return mc;
+}
+
+std::vector<VmSpec> FleetWorkloadMix(int vms) {
+  AQL_CHECK(vms >= 1);
+  // 8-VM cycle: 2 LLCO + 1 MemBw (the destructive 3/8 the aware policies
+  // must segregate or spread) + 3 LLCF + 2 LoLCF.
+  static const char* kCycle[8] = {"libquantum", "bzip2",  "hmmer", "stream_triad",
+                                  "libquantum", "bzip2",  "hmmer", "bzip2"};
+  std::vector<VmSpec> out;
+  out.reserve(static_cast<size_t>(vms));
+  for (int i = 0; i < vms; ++i) {
+    out.push_back(VmSpec{kCycle[i % 8], 1});
+  }
+  return out;
+}
+
+ScenarioSpec FleetScenario(const std::string& name, int hosts,
+                           const std::vector<VmSpec>& vms, ClusterPolicy policy,
+                           uint64_t seed) {
+  AQL_CHECK(hosts >= 1);
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.machine = FleetHostMachine(seed);
+  spec.vms = vms;
+  spec.fleet.hosts = hosts;
+  spec.fleet.policy = policy;
+  return spec;
+}
+
 ScenarioSpec FourSocketScenario(uint64_t seed) {
   ScenarioSpec spec;
   spec.machine = MultiSocketMachine(seed);

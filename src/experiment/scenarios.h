@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/core/aql_controller.h"
+#include "src/fleet/fleet.h"
 #include "src/hv/machine.h"
 
 namespace aql {
@@ -30,6 +31,10 @@ struct ScenarioSpec {
   std::vector<VmSpec> vms;
   TimeNs warmup = Sec(2);
   TimeNs measure = Sec(8);
+  // Fleet-scale scenarios (src/fleet): when fleet.hosts > 0, `machine` is
+  // the per-host template, `vms` is the fleet-wide VM population, and the
+  // runner dispatches to RunFleet instead of building one Machine.
+  FleetConfig fleet;
 };
 
 // Scheduling policy under test.
@@ -90,6 +95,23 @@ ScenarioSpec ColocationScenario(int index, uint64_t seed = 42);
 // §3.5 complex case: 48 vCPUs (12 IOInt+, 7 ConSpin-, 17 LLCF, 12 LLCO)
 // on 3 usable sockets.
 ScenarioSpec FourSocketScenario(uint64_t seed = 42);
+
+// Fleet host template: one E5-4603 socket (4 pCPUs) with the preset's DRAM
+// bandwidth modeled — the smallest host that exercises both contention terms
+// the cluster policies balance (LLC trashing and MemBus pressure).
+MachineConfig FleetHostMachine(uint64_t seed = 42);
+
+// Deterministic fleet VM population: `vms` single-vCPU VMs cycling through a
+// representative mix (2 LLCO : 1 MemBw : 2 LLCF : 2 LoLCF : 1 LLCF), i.e.
+// 3/8 of the population is cache- or bandwidth-destructive.
+std::vector<VmSpec> FleetWorkloadMix(int vms);
+
+// Fleet-scale scenario: `vms` placed across `hosts` FleetHostMachine hosts
+// by `policy` (see ScenarioSpec::fleet for the drain/skew knobs callers may
+// set afterwards).
+ScenarioSpec FleetScenario(const std::string& name, int hosts,
+                           const std::vector<VmSpec>& vms, ClusterPolicy policy,
+                           uint64_t seed = 42);
 
 }  // namespace aql
 

@@ -111,14 +111,15 @@ CellResult RunCell(const SweepCell& cell, const SweepOptions& sweep_options) {
 // Cache-aware cell execution: cells are pure functions of their (already
 // seed-derived) configuration, so a valid cache entry substitutes for the
 // simulation bit-for-bit (the entry stores the full serialized result).
-CellResult RunOrLoadCell(const std::string& sweep, const SweepCell& cell,
-                         const SweepOptions& options, CellCache* cache) {
+// Entries are keyed by configuration, not by (sweep, cell-id), so a hit may
+// come from another sweep's identical cell; re-stamping `out.cell` keeps
+// this run's own labels on the result.
+CellResult RunOrLoadCell(const SweepCell& cell, const SweepOptions& options,
+                         CellCache* cache) {
   if (cache == nullptr) {
     return RunCell(cell, options);
   }
   CellCacheKey key;
-  key.sweep = sweep;
-  key.cell_id = cell.id;
   key.derived_seed = cell.scenario.machine.seed;
   key.quick = options.quick;
   key.config_fingerprint = CellConfigFingerprint(cell);
@@ -163,6 +164,9 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
     AQL_CHECK_MSG(options.shard_index >= 1 && options.shard_index <= options.shard_count,
                   "shard index out of range (want 1 <= K <= N)");
   }
+  const bool cell_selected = !options.only_cell.empty();
+  AQL_CHECK_MSG(!(sharded && cell_selected),
+                "--cell and --shard are mutually exclusive");
 
   std::vector<SweepCell> cells = ExpandCells(spec, options);
   const size_t total_cells = cells.size();
@@ -174,6 +178,16 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
       }
     }
     cells = std::move(mine);  // may legitimately be empty (N > total cells)
+  } else if (cell_selected) {
+    std::vector<SweepCell> mine;
+    for (SweepCell& cell : cells) {
+      if (cell.id == options.only_cell) {
+        mine.push_back(std::move(cell));
+      }
+    }
+    AQL_CHECK_MSG(!mine.empty(),
+                  ("no such cell in sweep: " + options.only_cell).c_str());
+    cells = std::move(mine);
   }
 
   std::unique_ptr<CellCache> cache;
@@ -186,17 +200,17 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
       std::min<size_t>(cells.size(), options.jobs < 1 ? 1 : options.jobs);
   if (jobs <= 1) {
     for (size_t i = 0; i < cells.size(); ++i) {
-      results[i] = RunOrLoadCell(spec.name, cells[i], options, cache.get());
+      results[i] = RunOrLoadCell(cells[i], options, cache.get());
     }
   } else {
     std::atomic<size_t> next{0};
-    auto worker = [&spec, &options, &cells, &results, &next, &cache] {
+    auto worker = [&options, &cells, &results, &next, &cache] {
       for (;;) {
         const size_t i = next.fetch_add(1);
         if (i >= cells.size()) {
           return;
         }
-        results[i] = RunOrLoadCell(spec.name, cells[i], options, cache.get());
+        results[i] = RunOrLoadCell(cells[i], options, cache.get());
       }
     };
     std::vector<std::thread> pool;
@@ -210,11 +224,12 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
   }
 
   SweepContext ctx(options, std::move(results));
-  // A shard holds an arbitrary subset of cells, so the render step (which
-  // addresses cells by id across the whole sweep) only runs unsharded;
-  // MergeFragments re-renders over the reassembled union.
+  // A shard (or a --cell selection) holds an arbitrary subset of cells, so
+  // the render step (which addresses cells by id across the whole sweep)
+  // only runs over full expansions; MergeFragments re-renders over the
+  // reassembled union of shards.
   double render_seconds = 0.0;
-  if (!sharded && spec.render) {
+  if (!sharded && !cell_selected && spec.render) {
     const auto render_start = std::chrono::steady_clock::now();
     spec.render(ctx);
     render_seconds =
@@ -271,6 +286,38 @@ JsonValue ScenarioJson(const ScenarioSpec& spec) {
       .Set("warmup_ms", ToMs(spec.warmup))
       .Set("measure_ms", ToMs(spec.measure))
       .Set("vms", std::move(vms));
+  if (spec.fleet.hosts > 0) {
+    // Fleet scenarios only: absent for single-machine scenarios so their
+    // JSON (and the committed goldens) stays byte-identical. `pcpus` above
+    // is the per-host count; the fleet block carries the host dimension.
+    JsonValue fleet = JsonValue::Object();
+    fleet.Set("hosts", spec.fleet.hosts)
+        .Set("policy", ClusterPolicyName(spec.fleet.policy))
+        .Set("epoch_ms", ToMs(spec.fleet.epoch))
+        .Set("max_migrations_per_epoch", spec.fleet.max_migrations_per_epoch)
+        .Set("dirty_pages_per_vcpu", spec.fleet.migration.dirty_pages_per_vcpu)
+        .Set("page_bytes", spec.fleet.migration.page_bytes);
+    if (spec.fleet.drain.Active()) {
+      JsonValue drain_hosts = JsonValue::Array();
+      for (const int h : spec.fleet.drain.hosts) {
+        drain_hosts.Push(h);
+      }
+      JsonValue drain = JsonValue::Object();
+      drain.Set("hosts", std::move(drain_hosts))
+          .Set("start_ms", ToMs(spec.fleet.drain.start))
+          .Set("interval_ms", ToMs(spec.fleet.drain.interval))
+          .Set("batch_per_epoch", spec.fleet.drain.batch_per_epoch);
+      fleet.Set("drain", std::move(drain));
+    }
+    if (!spec.fleet.declared_hosts.empty()) {
+      JsonValue declared = JsonValue::Array();
+      for (const int h : spec.fleet.declared_hosts) {
+        declared.Push(h);
+      }
+      fleet.Set("declared_hosts", std::move(declared));
+    }
+    s.Set("fleet", std::move(fleet));
+  }
   return s;
 }
 

@@ -43,6 +43,12 @@ struct SweepOptions {
   // re-renders over the union (src/experiment/merge.h).
   int shard_index = 0;  // 1-based
   int shard_count = 0;
+  // Run a single cell by id (`--cell <id>`): the expansion is filtered to
+  // that one cell and the render step is skipped (render addresses cells
+  // across the whole sweep). Used by CI perf probes that want one full-mode
+  // cell's wall time without paying for its siblings. Mutually exclusive
+  // with sharding; empty selects every cell.
+  std::string only_cell;
   // Collect per-cell wall-clock phase breakdowns (`--profile`): each
   // freshly-computed cell carries a `profile` object in timing-enabled JSON
   // (docs/BENCH_FORMAT.md). Never present in --stable-json output, and never

@@ -1,0 +1,534 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/sim/check.h"
+#include "src/sim/rng.h"
+#include "src/workload/catalog.h"
+
+namespace aql {
+
+uint64_t FleetHostSeed(uint64_t base_seed, int host, uint64_t rebuild) {
+  // Two derivation stages: host index first, then the rebuild generation, so
+  // a rebuilt machine never replays the stream its predecessor consumed.
+  return Rng::DeriveSeed(Rng::DeriveSeed(base_seed, 0xf1ee70000ULL + static_cast<uint64_t>(host)),
+                         rebuild);
+}
+
+namespace {
+
+// Time-weighted per-vCPU report accumulation across host rebuilds. A vCPU
+// that lived through exactly one segment keeps its PerfReport verbatim — no
+// round-trip through the weighted mean — which preserves bit-identity with
+// the single-Machine runner.
+struct VcpuAccum {
+  std::vector<std::pair<double, PerfReport>> segments;
+};
+
+struct VmState {
+  FleetVmSpec spec;
+  int host = -1;
+  bool llc_trasher = false;
+  bool mem_heavy = false;
+  bool io = false;
+  std::vector<VcpuAccum> accum;  // one per vCPU of the VM
+};
+
+struct HostState {
+  std::unique_ptr<Simulation> sim;
+  std::unique_ptr<Machine> machine;
+  std::vector<int> vms;  // fleet VM indices in placement order
+  // Parallel to `vms`: (first host-local vCPU id, count) of each VM in the
+  // current build. Machine assigns ids sequentially, so ranges are dense.
+  std::vector<std::pair<int, int>> ranges;
+  TimeNs build_time = 0;
+  uint64_t rebuilds = 0;  // generations built so far
+  bool draining = false;
+  bool offline = false;
+  FleetHostStats stats;
+  int64_t busy = 0;        // measured busy ns across segments
+  TimeNs overhead = 0;     // measured controller overhead across segments
+};
+
+class FleetRun {
+ public:
+  explicit FleetRun(const FleetSpec& spec)
+      : spec_(spec),
+        cfg_(spec.config),
+        t_warm_(spec.warmup),
+        t_end_(spec.warmup + spec.measure) {}
+
+  FleetResult Run();
+
+ private:
+  void InitVms();
+  void PlaceVms();
+  void BuildHost(int h, TimeNs now);
+  void SnapshotHost(HostState& host, TimeNs seg_end);
+  // Snapshot + destroy a host's machine. Must run while the host's VM list
+  // and ranges still describe the build that produced the counters — i.e.
+  // BEFORE ApplyMoves rewrites the lists.
+  void TeardownHost(int h, TimeNs now);
+  // Rebuild a torn-down host around its (possibly rewritten) VM list, or
+  // retire it if the list emptied; executes the migration charge.
+  void RelaunchHost(int h, TimeNs now, TimeNs charge);
+  std::vector<FleetHostView> HostViews() const;
+  std::vector<FleetVmView> VmViews() const;
+  // Applies validated moves: updates VM lists, charges both ends, rebuilds
+  // every affected host once.
+  void ApplyMoves(const std::vector<FleetMigration>& moves, TimeNs now);
+  bool ProcessDrains(TimeNs now);
+  void ProcessRebalance(TimeNs now);
+  void Finalize(FleetResult& out);
+
+  const FleetSpec& spec_;
+  const FleetConfig& cfg_;
+  const TimeNs t_warm_;
+  const TimeNs t_end_;
+  std::vector<VmState> vms_;
+  std::vector<HostState> hosts_;
+  std::unique_ptr<ClusterScheduler> scheduler_;
+  FleetResult result_;
+};
+
+void FleetRun::InitVms() {
+  vms_.reserve(spec_.vms.size());
+  for (const FleetVmSpec& vs : spec_.vms) {
+    AQL_CHECK(vs.vcpus >= 1);
+    VmState state;
+    state.spec = vs;
+    const VcpuType type = FindApp(vs.app).expected_type;
+    state.llc_trasher = type == VcpuType::kLlco;
+    state.mem_heavy = type == VcpuType::kLlco || type == VcpuType::kMemBw;
+    state.io = type == VcpuType::kIoInt;
+    state.accum.resize(static_cast<size_t>(vs.vcpus));
+    vms_.push_back(std::move(state));
+  }
+}
+
+void FleetRun::PlaceVms() {
+  if (!cfg_.declared_hosts.empty()) {
+    AQL_CHECK_MSG(cfg_.declared_hosts.size() == vms_.size(),
+                  "declared_hosts must name a host per VM");
+    for (size_t i = 0; i < vms_.size(); ++i) {
+      const int h = cfg_.declared_hosts[i];
+      AQL_CHECK(h >= 0 && h < cfg_.hosts);
+      vms_[i].host = h;
+      hosts_[static_cast<size_t>(h)].vms.push_back(static_cast<int>(i));
+    }
+    return;
+  }
+  // Admission in VM order; each decision sees the placements made so far.
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    FleetVmView view;
+    view.vm = static_cast<int>(i);
+    view.vcpus = vms_[i].spec.vcpus;
+    view.llc_trasher = vms_[i].llc_trasher;
+    view.mem_heavy = vms_[i].mem_heavy;
+    const int h = scheduler_->Place(view, HostViews());
+    AQL_CHECK(h >= 0 && h < cfg_.hosts);
+    vms_[i].host = h;
+    hosts_[static_cast<size_t>(h)].vms.push_back(static_cast<int>(i));
+  }
+}
+
+void FleetRun::BuildHost(int h, TimeNs now) {
+  HostState& host = hosts_[static_cast<size_t>(h)];
+  AQL_CHECK(!host.vms.empty());
+  MachineConfig mc = spec_.host_template;
+  mc.seed = FleetHostSeed(spec_.host_template.seed, h, host.rebuilds);
+  host.sim = std::make_unique<Simulation>(mc.seed);
+  host.machine = std::make_unique<Machine>(*host.sim, mc);
+  host.ranges.clear();
+  std::vector<int> io_vcpus;
+  int cursor = 0;
+  int position = 0;
+  for (const int vm_index : host.vms) {
+    const VmState& vs = vms_[static_cast<size_t>(vm_index)];
+    Vm* vm = host.machine->AddVm("vm" + std::to_string(position) + "_" + vs.spec.app,
+                                 vs.spec.weight, vs.spec.cap_percent);
+    AppOptions app_options;
+    app_options.fifo_lock = vs.spec.fifo_lock;
+    auto models = MakeApp(vs.spec.app, vs.spec.vcpus, app_options);
+    for (auto& model : models) {
+      Vcpu* v = host.machine->AddVcpu(vm, std::move(model));
+      if (vs.io) {
+        io_vcpus.push_back(v->id());
+      }
+    }
+    host.ranges.emplace_back(cursor, vs.spec.vcpus);
+    cursor += vs.spec.vcpus;
+    ++position;
+  }
+  if (spec_.controller_factory) {
+    auto controller = spec_.controller_factory(io_vcpus);
+    if (controller != nullptr) {
+      host.machine->SetController(std::move(controller));
+    }
+  }
+  if (spec_.profile != nullptr) {
+    host.machine->SetProfile(spec_.profile);
+  }
+  host.machine->Start();
+  // The same window sentinels the single-Machine runner plants, in host-
+  // local time: they pin the clock to the exact warm-up/end boundaries so
+  // ResetAllMetrics and the final Reports() read at the right instants.
+  if (now < t_warm_) {
+    host.sim->At(t_warm_ - now, [](TimeNs) {});
+  }
+  host.sim->At(t_end_ - now, [](TimeNs) {});
+  host.build_time = now;
+  ++host.rebuilds;
+}
+
+void FleetRun::SnapshotHost(HostState& host, TimeNs seg_end) {
+  if (host.machine == nullptr || seg_end <= t_warm_) {
+    return;  // offline, or a segment that ended inside warm-up
+  }
+  // The machine's counters cover [max(build, warm-up end), seg_end]: a
+  // machine built before the warm-up boundary was reset there.
+  const TimeNs seg_start = std::max(host.build_time, t_warm_);
+  const double weight = static_cast<double>(seg_end - seg_start);
+  if (weight <= 0) {
+    return;
+  }
+  std::vector<PerfReport> reports = host.machine->Reports();
+  for (size_t i = 0; i < host.vms.size(); ++i) {
+    VmState& vs = vms_[static_cast<size_t>(host.vms[i])];
+    const auto [first, count] = host.ranges[i];
+    for (int k = 0; k < count; ++k) {
+      vs.accum[static_cast<size_t>(k)].segments.emplace_back(
+          weight, std::move(reports[static_cast<size_t>(first + k)]));
+    }
+  }
+  for (int p = 0; p < spec_.host_template.topology.TotalPcpus(); ++p) {
+    host.busy += host.machine->BusyTime(p);
+  }
+  host.overhead += host.machine->controller_overhead();
+}
+
+void FleetRun::TeardownHost(int h, TimeNs now) {
+  HostState& host = hosts_[static_cast<size_t>(h)];
+  SnapshotHost(host, now);
+  host.machine.reset();
+  host.sim.reset();
+}
+
+void FleetRun::RelaunchHost(int h, TimeNs now, TimeNs charge) {
+  HostState& host = hosts_[static_cast<size_t>(h)];
+  if (host.vms.empty()) {
+    // Fully evacuated. The final outgoing charge has no vCPUs left to
+    // dilate, so it is not executed anywhere (the destination side of each
+    // move still executes its half); the byte accounting above is complete.
+    host.offline = true;
+    host.stats.drained = true;
+    return;
+  }
+  BuildHost(h, now);
+  if (charge > 0) {
+    host.machine->ChargeControllerOverhead(charge);
+    host.stats.migration_charge += charge;
+    result_.migration_charge += charge;
+  }
+}
+
+std::vector<FleetHostView> FleetRun::HostViews() const {
+  std::vector<FleetHostView> out(static_cast<size_t>(cfg_.hosts));
+  for (int h = 0; h < cfg_.hosts; ++h) {
+    const HostState& host = hosts_[static_cast<size_t>(h)];
+    FleetHostView& view = out[static_cast<size_t>(h)];
+    view.host = h;
+    view.pcpus = spec_.host_template.topology.TotalPcpus();
+    view.draining = host.draining || host.offline;
+    for (const int vm_index : host.vms) {
+      const VmState& vs = vms_[static_cast<size_t>(vm_index)];
+      view.vcpus += vs.spec.vcpus;
+      if (vs.llc_trasher) {
+        ++view.trashers;
+      }
+      if (vs.mem_heavy) {
+        view.mem_heavy_vcpus += vs.spec.vcpus;
+      }
+    }
+    if (host.machine != nullptr) {
+      const int sockets = spec_.host_template.topology.sockets;
+      for (int s = 0; s < sockets; ++s) {
+        view.bus_demand += host.machine->mem_bus().TotalDemand(s);
+        view.llc_occupancy += host.machine->llc().TotalOccupancy(s);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FleetVmView> FleetRun::VmViews() const {
+  std::vector<FleetVmView> out(vms_.size());
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    FleetVmView& view = out[i];
+    view.vm = static_cast<int>(i);
+    view.host = vms_[i].host;
+    view.vcpus = vms_[i].spec.vcpus;
+    view.llc_trasher = vms_[i].llc_trasher;
+    view.mem_heavy = vms_[i].mem_heavy;
+    const HostState& host = hosts_[static_cast<size_t>(vms_[i].host)];
+    if (host.machine != nullptr) {
+      // Locate the VM's vCPU range in the host's current build.
+      for (size_t j = 0; j < host.vms.size(); ++j) {
+        if (host.vms[j] != static_cast<int>(i)) {
+          continue;
+        }
+        const auto [first, count] = host.ranges[j];
+        const int sockets = spec_.host_template.topology.sockets;
+        for (int k = 0; k < count; ++k) {
+          for (int s = 0; s < sockets; ++s) {
+            view.llc_occupancy += host.machine->llc().Occupancy(s, first + k);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void FleetRun::ApplyMoves(const std::vector<FleetMigration>& moves, TimeNs now) {
+  if (moves.empty()) {
+    return;
+  }
+  std::vector<TimeNs> charge(static_cast<size_t>(cfg_.hosts), 0);
+  std::vector<bool> touched(static_cast<size_t>(cfg_.hosts), false);
+  const double bw = spec_.host_template.topology.mem_bw_bytes_per_ns > 0
+                        ? spec_.host_template.topology.mem_bw_bytes_per_ns
+                        : cfg_.migration.fallback_bw_bytes_per_ns;
+  // Pass 1: validate moves, accumulate per-end byte/charge accounting.
+  for (const FleetMigration& m : moves) {
+    const VmState& vm = vms_[static_cast<size_t>(m.vm)];
+    AQL_CHECK(vm.host == m.from && m.from != m.to);
+    const uint64_t bytes = static_cast<uint64_t>(vm.spec.vcpus) *
+                           cfg_.migration.dirty_pages_per_vcpu * cfg_.migration.page_bytes;
+    const TimeNs cost = static_cast<TimeNs>(static_cast<double>(bytes) / bw);
+    HostState& src = hosts_[static_cast<size_t>(m.from)];
+    HostState& dst = hosts_[static_cast<size_t>(m.to)];
+    ++src.stats.migrations_out;
+    src.stats.migration_bytes_out += bytes;
+    ++dst.stats.migrations_in;
+    dst.stats.migration_bytes_in += bytes;
+    charge[static_cast<size_t>(m.from)] += cost;
+    charge[static_cast<size_t>(m.to)] += cost;
+    touched[static_cast<size_t>(m.from)] = true;
+    touched[static_cast<size_t>(m.to)] = true;
+    ++result_.migrations;
+    result_.migration_bytes += bytes;
+  }
+  // Pass 2: snapshot + tear down every touched host while its VM list and
+  // ranges still describe the machine whose counters we are reading.
+  for (int h = 0; h < cfg_.hosts; ++h) {
+    if (touched[static_cast<size_t>(h)]) {
+      TeardownHost(h, now);
+    }
+  }
+  // Pass 3: rewrite the VM lists.
+  for (const FleetMigration& m : moves) {
+    HostState& src = hosts_[static_cast<size_t>(m.from)];
+    src.vms.erase(std::find(src.vms.begin(), src.vms.end(), m.vm));
+    hosts_[static_cast<size_t>(m.to)].vms.push_back(m.vm);
+    vms_[static_cast<size_t>(m.vm)].host = m.to;
+  }
+  // Pass 4: bring the touched hosts back up (or retire the emptied ones),
+  // executing each end's dirty-page transfer charge.
+  for (int h = 0; h < cfg_.hosts; ++h) {
+    if (touched[static_cast<size_t>(h)]) {
+      RelaunchHost(h, now, charge[static_cast<size_t>(h)]);
+    }
+  }
+}
+
+bool FleetRun::ProcessDrains(TimeNs now) {
+  if (!cfg_.drain.Active()) {
+    return false;
+  }
+  for (size_t k = 0; k < cfg_.drain.hosts.size(); ++k) {
+    const TimeNs due = cfg_.drain.start + static_cast<TimeNs>(k) * cfg_.drain.interval;
+    if (now >= due) {
+      const int h = cfg_.drain.hosts[k];
+      AQL_CHECK(h >= 0 && h < cfg_.hosts);
+      hosts_[static_cast<size_t>(h)].draining = true;
+    }
+  }
+  std::vector<FleetMigration> moves;
+  std::vector<FleetHostView> views = HostViews();
+  for (const int h : cfg_.drain.hosts) {
+    HostState& src = hosts_[static_cast<size_t>(h)];
+    if (!src.draining || src.offline || src.vms.empty()) {
+      continue;
+    }
+    const int batch = cfg_.drain.batch_per_epoch < 1
+                          ? static_cast<int>(src.vms.size())
+                          : cfg_.drain.batch_per_epoch;
+    for (int n = 0; n < batch && n < static_cast<int>(src.vms.size()); ++n) {
+      const int vm_index = src.vms[static_cast<size_t>(n)];
+      FleetVmView view;
+      view.vm = vm_index;
+      view.host = h;
+      view.vcpus = vms_[static_cast<size_t>(vm_index)].spec.vcpus;
+      view.llc_trasher = vms_[static_cast<size_t>(vm_index)].llc_trasher;
+      view.mem_heavy = vms_[static_cast<size_t>(vm_index)].mem_heavy;
+      const int target = scheduler_->Place(view, views);
+      AQL_CHECK(target != h && !views[static_cast<size_t>(target)].draining);
+      moves.push_back(FleetMigration{vm_index, h, target});
+      // Keep the views current so consecutive evacuations spread out.
+      FleetHostView& tv = views[static_cast<size_t>(target)];
+      tv.vcpus += view.vcpus;
+      if (view.llc_trasher) {
+        ++tv.trashers;
+      }
+      if (view.mem_heavy) {
+        tv.mem_heavy_vcpus += view.vcpus;
+      }
+    }
+  }
+  ApplyMoves(moves, now);
+  return !moves.empty();
+}
+
+void FleetRun::ProcessRebalance(TimeNs now) {
+  if (cfg_.max_migrations_per_epoch <= 0) {
+    return;
+  }
+  std::vector<FleetMigration> proposed = scheduler_->Rebalance(HostViews(), VmViews());
+  std::vector<FleetMigration> moves;
+  for (const FleetMigration& m : proposed) {
+    if (static_cast<int>(moves.size()) >= cfg_.max_migrations_per_epoch) {
+      break;
+    }
+    AQL_CHECK(m.vm >= 0 && m.vm < static_cast<int>(vms_.size()));
+    AQL_CHECK(m.to >= 0 && m.to < cfg_.hosts);
+    const HostState& dst = hosts_[static_cast<size_t>(m.to)];
+    if (vms_[static_cast<size_t>(m.vm)].host != m.from || m.from == m.to ||
+        dst.draining || dst.offline) {
+      continue;  // stale or ineligible proposal
+    }
+    moves.push_back(m);
+  }
+  ApplyMoves(moves, now);
+}
+
+void FleetRun::Finalize(FleetResult& out) {
+  std::vector<PerfReport> finalized;
+  for (const VmState& vm : vms_) {
+    for (const VcpuAccum& accum : vm.accum) {
+      AQL_CHECK_MSG(!accum.segments.empty(), "vCPU measured no segment");
+      if (accum.segments.size() == 1) {
+        finalized.push_back(accum.segments[0].second);
+        continue;
+      }
+      PerfReport merged;
+      merged.workload_name = accum.segments[0].second.workload_name;
+      std::map<std::string, std::pair<double, double>> acc;  // key -> (w, w*v)
+      for (const auto& [weight, report] : accum.segments) {
+        for (const auto& [key, value] : report.metrics) {
+          acc[key].first += weight;
+          acc[key].second += weight * value;
+        }
+      }
+      for (const auto& [key, wv] : acc) {
+        merged.metrics[key] = wv.second / wv.first;
+      }
+      finalized.push_back(std::move(merged));
+    }
+  }
+  out.app_groups = GroupReports(finalized);
+
+  out.measure_window = t_end_ - t_warm_;
+  const int pcpus = spec_.host_template.topology.TotalPcpus();
+  int64_t busy = 0;
+  out.hosts.resize(static_cast<size_t>(cfg_.hosts));
+  for (int h = 0; h < cfg_.hosts; ++h) {
+    HostState& host = hosts_[static_cast<size_t>(h)];
+    busy += host.busy;
+    out.controller_overhead += host.overhead;
+    out.events_processed += host.stats.events;
+    host.stats.cpu_utilization =
+        static_cast<double>(host.busy) /
+        (static_cast<double>(out.measure_window) * static_cast<double>(pcpus));
+    for (const int vm_index : host.vms) {
+      host.stats.vcpus += vms_[static_cast<size_t>(vm_index)].spec.vcpus;
+    }
+    out.hosts[static_cast<size_t>(h)] = host.stats;
+  }
+  // Capacity counts drained hosts too: evacuating a host costs the fleet its
+  // capacity, which is exactly what the utilization figure should show.
+  const double capacity = static_cast<double>(out.measure_window) *
+                          static_cast<double>(pcpus) * static_cast<double>(cfg_.hosts);
+  out.cpu_utilization = capacity > 0 ? static_cast<double>(busy) / capacity : 0.0;
+  for (const VmState& vm : vms_) {
+    out.vcpus_total += vm.spec.vcpus;
+  }
+}
+
+FleetResult FleetRun::Run() {
+  AQL_CHECK_MSG(cfg_.hosts >= 1, "fleet needs at least one host");
+  AQL_CHECK(cfg_.epoch > 0);
+  AQL_CHECK(!spec_.vms.empty());
+  hosts_.resize(static_cast<size_t>(cfg_.hosts));
+  scheduler_ = MakeClusterScheduler(cfg_.policy);
+  InitVms();
+  PlaceVms();
+  for (int h = 0; h < cfg_.hosts; ++h) {
+    // Hosts that received no VMs stay machineless until a migration arrives.
+    if (!hosts_[static_cast<size_t>(h)].vms.empty()) {
+      BuildHost(h, 0);
+    }
+  }
+
+  // Boundary grid: the epoch multiples plus the exact window edges. Epoch
+  // boundaries only split RunUntil calls — no event lands there unless a
+  // sentinel or workload put one — so a migration-free fleet replays the
+  // single-Machine event stream exactly.
+  std::vector<TimeNs> boundaries;
+  for (TimeNs t = cfg_.epoch; t < t_end_; t += cfg_.epoch) {
+    boundaries.push_back(t);
+  }
+  boundaries.push_back(t_warm_);
+  boundaries.push_back(t_end_);
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()), boundaries.end());
+
+  for (const TimeNs b : boundaries) {
+    for (HostState& host : hosts_) {
+      if (host.machine != nullptr) {
+        host.stats.events += host.sim->RunUntil(b - host.build_time);
+      }
+    }
+    if (b == t_warm_) {
+      for (HostState& host : hosts_) {
+        if (host.machine != nullptr) {
+          host.machine->ResetAllMetrics();
+        }
+      }
+    }
+    if (b == t_end_) {
+      break;
+    }
+    // Cluster control: drain epochs take the whole migration budget;
+    // rebalance runs otherwise. Decisions happen during warm-up too — a real
+    // placer does not wait for anyone's measurement window.
+    if (!ProcessDrains(b)) {
+      ProcessRebalance(b);
+    }
+  }
+
+  for (HostState& host : hosts_) {
+    SnapshotHost(host, t_end_);
+  }
+  Finalize(result_);
+  return std::move(result_);
+}
+
+}  // namespace
+
+FleetResult RunFleet(const FleetSpec& spec) { return FleetRun(spec).Run(); }
+
+}  // namespace aql

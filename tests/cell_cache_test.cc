@@ -1,7 +1,8 @@
-// Tests for the cell-result cache's GC pass (`aql_bench cache-gc`):
-// oldest-mtime eviction down to a byte budget, temp-file sweeping, and —
-// the contract that matters — entries surviving a GC still hit and verify
-// exactly as before.
+// Tests for the cell-result cache: the configuration fingerprint (full
+// scenario + machine + policy — the basis of cross-sweep entry sharing) and
+// the GC pass (`aql_bench cache-gc`): oldest-mtime eviction down to a byte
+// budget, temp-file sweeping, and — the contract that matters — entries
+// surviving a GC still hit and verify exactly as before.
 
 #include <filesystem>
 #include <fstream>
@@ -30,10 +31,8 @@ class CellCacheGcTest : public ::testing::Test {
   fs::path dir_;
 };
 
-CellCacheKey Key(const std::string& cell_id, uint64_t seed) {
+CellCacheKey Key(uint64_t seed) {
   CellCacheKey key;
-  key.sweep = "gc_test";
-  key.cell_id = cell_id;
   key.derived_seed = seed;
   key.quick = true;
   key.config_fingerprint = 0xfeedULL;
@@ -63,8 +62,8 @@ void Backdate(const fs::path& path, int seconds) {
 
 TEST_F(CellCacheGcTest, EvictsOldestFirstAndSurvivorsStillHit) {
   CellCache cache(dir_.string(), /*config_hash=*/1234);
-  const CellCacheKey old_key = Key("old", 1);
-  const CellCacheKey new_key = Key("new", 2);
+  const CellCacheKey old_key = Key(1);
+  const CellCacheKey new_key = Key(2);
   cache.Store(old_key, MakeResult("old", 1));
   cache.Store(new_key, MakeResult("new", 2));
   Backdate(cache.PathFor(old_key), 1000);
@@ -97,10 +96,10 @@ TEST_F(CellCacheGcTest, EvictsOldestFirstAndSurvivorsStillHit) {
 
 TEST_F(CellCacheGcTest, ZeroBudgetEmptiesTheCacheAndSweepsTempFiles) {
   CellCache cache(dir_.string(), /*config_hash=*/1234);
-  cache.Store(Key("a", 1), MakeResult("a", 1));
-  cache.Store(Key("b", 2), MakeResult("b", 2));
+  cache.Store(Key(1), MakeResult("a", 1));
+  cache.Store(Key(2), MakeResult("b", 2));
   // An orphaned writer temp file (crashed process).
-  std::ofstream(dir_ / "gc_test" / "deadbeef.json.tmp.12345.67") << "torn";
+  std::ofstream(dir_ / "cells" / "deadbeef.json.tmp.12345.67") << "torn";
 
   const CellCache::GcStats stats = CellCache::Gc(dir_.string(), 0);
   EXPECT_EQ(stats.entries_before, 2u);
@@ -113,6 +112,74 @@ TEST_F(CellCacheGcTest, MissingDirectoryIsANoOp) {
   const CellCache::GcStats stats = CellCache::Gc((dir_ / "nope").string(), 0);
   EXPECT_EQ(stats.entries_before, 0u);
   EXPECT_EQ(stats.entries_evicted, 0u);
+}
+
+// A configured cell for fingerprint tests: real scenario, real policy.
+SweepCell MakeCell(const std::string& id) {
+  SweepCell cell;
+  cell.id = id;
+  cell.scenario.name = "fp/rig";
+  cell.scenario.machine = SingleSocketMachine(2, 7);
+  cell.scenario.vms = {{"hmmer", 1}, {"libquantum", 1}};
+  cell.scenario.warmup = Ms(30);
+  cell.scenario.measure = Ms(60);
+  cell.policy = PolicySpec::Xen();
+  return cell;
+}
+
+// Two sweeps registering the identical cell under different ids share one
+// cache entry: the id is a label, not a simulation input, so it is not part
+// of the fingerprint or the key.
+TEST_F(CellCacheGcTest, IdenticalCellsDedupAcrossSweeps) {
+  const SweepCell a = MakeCell("sweep_a/rig");
+  const SweepCell b = MakeCell("sweep_b/other_name_same_rig");
+  EXPECT_EQ(CellConfigFingerprint(a), CellConfigFingerprint(b));
+
+  CellCache cache(dir_.string(), /*config_hash=*/1234);
+  CellCacheKey key_a;
+  key_a.derived_seed = a.scenario.machine.seed;
+  key_a.quick = true;
+  key_a.config_fingerprint = CellConfigFingerprint(a);
+  CellCacheKey key_b = key_a;
+  key_b.config_fingerprint = CellConfigFingerprint(b);
+  EXPECT_EQ(cache.PathFor(key_a), cache.PathFor(key_b));
+
+  // Stored by "sweep A", hit by "sweep B".
+  CellResult computed;
+  computed.cell = a;
+  computed.result = RunScenario(a.scenario, a.policy);
+  cache.Store(key_a, computed);
+  CellResult loaded;
+  ASSERT_TRUE(cache.Load(key_b, &loaded));
+  EXPECT_EQ(loaded.result.events_processed, computed.result.events_processed);
+  EXPECT_EQ(loaded.result.cpu_utilization, computed.result.cpu_utilization);
+}
+
+// The fingerprint sees the full machine configuration — knobs the scenario
+// JSON alone cannot express must still segregate entries.
+TEST_F(CellCacheGcTest, FingerprintCoversMachineKnobsBeyondScenarioJson) {
+  const SweepCell base = MakeCell("rig");
+
+  SweepCell hw = base;
+  hw.scenario.machine.hw.llc_miss_penalty += 1;
+  EXPECT_NE(CellConfigFingerprint(base), CellConfigFingerprint(hw));
+
+  SweepCell credit = base;
+  credit.scenario.machine.credit.boost_enabled = false;
+  EXPECT_NE(CellConfigFingerprint(base), CellConfigFingerprint(credit));
+
+  SweepCell monitor = base;
+  monitor.scenario.machine.monitor_period += Ms(1);
+  EXPECT_NE(CellConfigFingerprint(base), CellConfigFingerprint(monitor));
+
+  SweepCell topo = base;
+  topo.scenario.machine.topology.llc_bytes *= 2;
+  EXPECT_NE(CellConfigFingerprint(base), CellConfigFingerprint(topo));
+
+  // And the fleet dimension (rides in the scenario JSON's fleet block).
+  SweepCell fleet = base;
+  fleet.scenario.fleet.hosts = 4;
+  EXPECT_NE(CellConfigFingerprint(base), CellConfigFingerprint(fleet));
 }
 
 }  // namespace

@@ -162,11 +162,12 @@ TEST(SweepEngineTest, SeedSaltChangesStreams) {
 
 TEST(SweepEngineTest, RegisteredSweepsCoverTheFigures) {
   const SweepRegistry& registry = SweepRegistry::Instance();
-  EXPECT_GE(registry.size(), 11u);
+  EXPECT_GE(registry.size(), 14u);
   for (const char* name :
        {"fig2_calibration", "fig4_vtrs_traces", "fig5_validation", "fig6_effectiveness",
         "fig7_customization", "fig8_comparison", "table3_recognition",
-        "table3x_recognition", "table5_clusters", "ablation", "overhead"}) {
+        "table3x_recognition", "table5_clusters", "ablation", "overhead",
+        "fleet_hotspot", "fleet_consolidation", "fleet_drain"}) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }
   EXPECT_EQ(registry.Find("nonexistent"), nullptr);
@@ -260,6 +261,21 @@ TEST(GoldenTest, Table5QuickMatchesCommittedGolden) {
 
 TEST(GoldenTest, Fig4QuickMatchesCommittedGolden) {
   ExpectMatchesGolden("fig4_vtrs_traces");
+}
+
+// The fleet sweeps are cheap in quick mode (8-100 hosts, short windows), so
+// all three ride in every ctest run — they cover the multi-host event
+// ordering, the migration/rebuild path and the drain path respectively.
+TEST(GoldenTest, FleetHotspotQuickMatchesCommittedGolden) {
+  ExpectMatchesGolden("fleet_hotspot");
+}
+
+TEST(GoldenTest, FleetConsolidationQuickMatchesCommittedGolden) {
+  ExpectMatchesGolden("fleet_consolidation");
+}
+
+TEST(GoldenTest, FleetDrainQuickMatchesCommittedGolden) {
+  ExpectMatchesGolden("fleet_drain");
 }
 #endif  // AQL_GOLDEN_DIR
 
