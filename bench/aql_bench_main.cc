@@ -9,6 +9,13 @@
 //   --jobs N         worker threads for (scenario, policy) cells
 //                    (default: hardware concurrency; results are identical
 //                    for every N — cells are seeded per-cell)
+//   --island-threads N
+//                    worker threads advancing host islands INSIDE a fleet
+//                    cell (default 1 = sequential). Orthogonal to --jobs;
+//                    output is byte-identical for every N (the determinism
+//                    contract in docs/ARCHITECTURE.md), so goldens, caches
+//                    and --stable-json comparisons never depend on it.
+//                    Single-machine cells are unaffected.
 //   --quick          scaled-down simulated durations (CI smoke)
 //   --out DIR        output directory for BENCH_<name>.json (default ".")
 //   --stable-json    omit wall-clock timing from JSON (byte-comparable runs)
@@ -22,7 +29,10 @@
 //                    BENCH_<name>.shard<K>of<N>.json fragment for `merge`
 //   --cell ID        run a single cell by id (render skipped); for CI perf
 //                    probes that time one full-mode cell without paying for
-//                    its siblings. Mutually exclusive with --shard.
+//                    its siblings. Mutually exclusive with --shard. Runs
+//                    the cell inline — the cell worker pool is skipped and
+//                    --jobs is clamped to 1, so a --cell --island-threads
+//                    benchmark measures island parallelism alone.
 //   --cache-dir DIR  reuse cached cell results (content-addressed on the
 //                    cell's configuration; see docs/BENCH_FORMAT.md)
 //
@@ -64,7 +74,8 @@ namespace {
 void Usage(FILE* out) {
   std::fprintf(out,
                "usage: aql_bench (--list | --all | --run <name>...) "
-               "[--jobs N] [--quick] [--out DIR] [--stable-json] [--no-json] "
+               "[--jobs N] [--island-threads N] [--quick] [--out DIR] "
+               "[--stable-json] [--no-json] "
                "[--profile] [--shard K/N] [--cell ID] [--cache-dir DIR]\n"
                "       aql_bench merge [--out DIR] [--timing] <fragment.json>...\n"
                "       aql_bench cache-gc --cache-dir DIR --max-bytes N\n");
@@ -254,6 +265,12 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "aql_bench: --jobs must be >= 1\n");
         return 2;
       }
+    } else if (arg == "--island-threads") {
+      options.island_threads = std::atoi(value());
+      if (options.island_threads < 1) {
+        std::fprintf(stderr, "aql_bench: --island-threads must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--quick") {
       options.quick = true;
     } else if (arg == "--profile") {
@@ -313,6 +330,14 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "aql_bench: --cell wants exactly one --run sweep\n");
     return 2;
   }
+  if (!options.only_cell.empty()) {
+    // A single cell is a single unit of cell-pool work: clamp --jobs (which
+    // defaults to hardware concurrency) so the header, the timed JSON and
+    // the engine all agree the run is inline. --island-threads is then the
+    // only parallelism in play — exactly what a --cell island benchmark
+    // wants to measure.
+    options.jobs = 1;
+  }
   if (sharded && !write_json) {
     std::fprintf(stderr, "aql_bench: --shard produces fragment JSON; "
                          "--no-json makes a sharded run pointless\n");
@@ -333,14 +358,19 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "aql_bench: unknown sweep: %s (try --list)\n", name.c_str());
       return 2;
     }
+    char islands[32] = "";
+    if (options.island_threads > 1) {
+      std::snprintf(islands, sizeof(islands), ", island-threads=%d",
+                    options.island_threads);
+    }
     if (sharded) {
-      std::printf("=== %s (%s, shard %d/%d, jobs=%d) ===\n", name.c_str(),
+      std::printf("=== %s (%s, shard %d/%d, jobs=%d%s) ===\n", name.c_str(),
                   options.quick ? "quick" : "full", options.shard_index,
-                  options.shard_count, options.jobs);
+                  options.shard_count, options.jobs, islands);
     } else {
-      std::printf("=== %s (%s%s, jobs=%d) ===\n", name.c_str(),
+      std::printf("=== %s (%s%s, jobs=%d%s) ===\n", name.c_str(),
                   options.quick ? "quick" : "full",
-                  stable_json ? ", stable-json" : "", options.jobs);
+                  stable_json ? ", stable-json" : "", options.jobs, islands);
     }
     std::fflush(stdout);
 

@@ -47,6 +47,14 @@ std::vector<SweepCell> Build(const SweepOptions& opts) {
   add("s5/aql", ColocationScenario(5), PolicySpec::Aql());
   // Scale probe: 48 vCPUs over 3 sockets with the NUMA terms active.
   add("complex/aql", FourSocketScenario(), PolicySpec::Aql());
+  // Fleet hot path: 64 single-socket islands under the cache-aware
+  // rebalancer — the loop --island-threads parallelizes, so this is the row
+  // CI's sequential-vs-parallel probes read their walls from.
+  ScenarioSpec fleet = FleetScenario("perf_fleet", /*hosts=*/64, FleetWorkloadMix(256),
+                                     ClusterPolicy::kCacheAware);
+  fleet.warmup = Sec(1);
+  fleet.measure = Sec(4);
+  add("fleet/cacheaware", fleet, PolicySpec::Xen());
 
   return cells;
 }

@@ -27,6 +27,13 @@ Wall-time focus (--walls): in diff mode, prints a per-sweep wall-time table
 to demonstrate engine speedups against a committed BENCH_baseline capture.
 In trajectory mode, adds the per-cell wall series to the per-sweep output.
 
+Island-thread runs: a document produced with --island-threads N > 1 is
+keyed (and labeled in every table) as 'name@islN', so sequential and
+parallel captures of the same sweep coexist in one artifact directory.
+--walls matches a '@islN' run against its sequential baseline when no
+same-threaded baseline exists — the row that turns CI's sequential-vs-
+parallel fleet probe into a speedup number.
+
 Usage: scripts/bench_diff.py [--wall-drift-pct P] [--walls] OLD_DIR NEW_DIR
        scripts/bench_diff.py --trajectory HISTORY_DIR [--walls]
 """
@@ -62,8 +69,26 @@ def load_benches(path):
         with open(f, encoding="utf-8") as fh:
             doc = json.load(fh)
         name = doc.get("bench", os.path.basename(f))
+        # Label parallel-islands captures so they never collide with (or
+        # silently compare against) the sequential capture of the same
+        # sweep. Stable JSON omits execution options, so only timing
+        # documents ever carry the suffix.
+        islands = doc.get("options", {}).get("island_threads", 1)
+        if isinstance(islands, int) and islands > 1:
+            name = f"{name}@isl{islands}"
         out[name] = doc
     return out
+
+
+def base_name(name):
+    """Sweep name with any '@islN' island-thread label stripped."""
+    return name.split("@isl", 1)[0]
+
+
+def walls_baseline(old_benches, name):
+    """Baseline doc for --walls: exact match, else the sequential capture."""
+    doc = old_benches.get(name)
+    return doc if doc is not None else old_benches.get(base_name(name))
 
 
 def cell_metrics(cell):
@@ -167,7 +192,7 @@ def walls_report(old_benches, new_benches):
         new_w = cell_walls(new_benches[name])
         if not new_w:
             continue
-        old_doc = old_benches.get(name)
+        old_doc = walls_baseline(old_benches, name)
         old_w = cell_walls(old_doc) if old_doc is not None else {}
         shared = sorted(set(old_w) & set(new_w))
         if shared:
@@ -182,27 +207,27 @@ def walls_report(old_benches, new_benches):
         print("walls: no sweeps with comparable per-cell wall times")
         return
     print("\n== wall times (per-cell sums over shared cells) ==")
-    header = f"{'sweep':<22} {'cells':>5} {'old s':>9} {'new s':>9} {'speedup':>8}"
+    header = f"{'sweep':<26} {'cells':>5} {'old s':>9} {'new s':>9} {'speedup':>8}"
     print(header)
     print("-" * len(header))
     total_old = total_new = 0.0
     for name, n, old_total, new_total, speedup in rows:
         if old_total is None:
-            print(f"{name:<22} {n:>5} {'-':>9} {new_total:>9.3f} {'':>8}")
+            print(f"{name:<26} {n:>5} {'-':>9} {new_total:>9.3f} {'':>8}")
             continue
         total_old += old_total
         total_new += new_total
-        print(f"{name:<22} {n:>5} {old_total:>9.3f} {new_total:>9.3f} {speedup:>7.2f}x")
+        print(f"{name:<26} {n:>5} {old_total:>9.3f} {new_total:>9.3f} {speedup:>7.2f}x")
     overall = total_old / total_new if total_new > 0 else float("inf")
     print("-" * len(header))
-    print(f"{'TOTAL':<22} {'':>5} {total_old:>9.3f} {total_new:>9.3f} {overall:>7.2f}x")
+    print(f"{'TOTAL':<26} {'':>5} {total_old:>9.3f} {total_new:>9.3f} {overall:>7.2f}x")
 
     # Slowest cells of the new run, with their old walls ('-' for cells the
     # baseline never ran): a single-cell regression must not be able to hide
     # inside a sweep total.
     slowest = []
     for name in sorted(new_benches):
-        old_doc = old_benches.get(name)
+        old_doc = walls_baseline(old_benches, name)
         old_w = cell_walls(old_doc) if old_doc is not None else {}
         for cell, wall in cell_walls(new_benches[name]).items():
             slowest.append((wall, f"{name}:{cell}", old_w.get(cell)))
@@ -287,6 +312,13 @@ def main():
     breakages, warnings = [], []
     for name in sorted(old_benches):
         if name not in new_benches:
+            # An island-thread variant of the same sweep is a re-labeling,
+            # not a disappearance (e.g. diffing a sequential capture against
+            # a --island-threads one of the same cells).
+            if any(base_name(k) == base_name(name) for k in new_benches):
+                print(f"info: sweep '{name}' present only at a different "
+                      f"island-thread count in the candidate run")
+                continue
             breakages.append(f"sweep '{name}' disappeared from the artifacts")
             continue
         diff_bench(name, old_benches[name], new_benches[name],

@@ -65,6 +65,7 @@ ScenarioResult RunFleetScenario(const ScenarioSpec& spec, const PolicySpec& poli
   fleet.config = spec.fleet;
   fleet.warmup = spec.warmup;
   fleet.measure = spec.measure;
+  fleet.island_threads = options.island_threads;
   for (const VmSpec& vs : spec.vms) {
     fleet.vms.push_back(FleetVmSpec{vs.app, vs.vcpus, vs.weight, vs.cap_percent,
                                     vs.fifo_lock});

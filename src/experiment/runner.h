@@ -21,6 +21,11 @@ struct RunOptions {
   // llc / scheduler) into ScenarioResult::profile. Observational only: the
   // simulated results are bit-identical with or without it.
   bool profile = false;
+  // Fleet scenarios only: worker threads advancing host islands between
+  // epoch boundaries (FleetSpec::island_threads). Execution-only: the
+  // result is byte-identical at every setting (tests/fleet_parallel_test.cc
+  // proves it differentially); single-machine scenarios ignore it.
+  int island_threads = 1;
 };
 
 struct ScenarioResult {

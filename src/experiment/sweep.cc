@@ -96,6 +96,7 @@ CellResult RunCell(const SweepCell& cell, const SweepOptions& sweep_options) {
   out.cell = cell;
   RunOptions options;
   options.profile = sweep_options.profile;
+  options.island_threads = sweep_options.island_threads;
   if (cell.trace_cursors) {
     auto* trace = &out.cursor_trace;
     options.trace = [trace](TimeNs, int vcpu, const CursorSet&, const CursorSet& avg) {
@@ -196,9 +197,14 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
   }
 
   std::vector<CellResult> results(cells.size());
+  // Single-cell runs (a --cell selection, or a sweep/shard that expanded to
+  // one cell) execute inline: the worker pool would add thread setup around
+  // a single unit of work, and --cell + --island-threads benchmarks must
+  // measure island parallelism alone. The pool clamp below guarantees this
+  // (jobs collapses to 1), and the branch keeps the guarantee explicit.
   const size_t jobs =
       std::min<size_t>(cells.size(), options.jobs < 1 ? 1 : options.jobs);
-  if (jobs <= 1) {
+  if (jobs <= 1 || cells.size() <= 1) {
     for (size_t i = 0; i < cells.size(); ++i) {
       results[i] = RunOrLoadCell(cells[i], options, cache.get());
     }
@@ -419,8 +425,11 @@ JsonValue SweepJson(const SweepResult& result, bool include_timing) {
   opts.Set("quick", result.options.quick)
       .Set("seed_salt", result.options.seed_salt);
   if (include_timing) {
-    // Thread count never affects results; it is timing metadata.
+    // Thread counts never affect results; they are timing metadata. Both
+    // levers ride here so perf tooling (bench_diff.py --walls) can label
+    // wall-time rows with the parallelism that produced them.
     opts.Set("jobs", result.options.jobs);
+    opts.Set("island_threads", result.options.island_threads);
   }
   doc.Set("options", std::move(opts));
 

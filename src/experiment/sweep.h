@@ -54,6 +54,13 @@ struct SweepOptions {
   // (docs/BENCH_FORMAT.md). Never present in --stable-json output, and never
   // served from the cell cache (a cache hit did not simulate anything).
   bool profile = false;
+  // Fleet cells only: worker threads advancing host islands inside one cell
+  // (`--island-threads`). Orthogonal to `jobs` (which parallelizes across
+  // cells): a 1024-host fleet cell is a single unit of `jobs` work, and
+  // island threads are the only lever inside it. Execution-only knob —
+  // stable JSON and the cell-cache key are independent of it by contract
+  // (tests/fleet_parallel_test.cc, docs/BENCH_FORMAT.md).
+  int island_threads = 1;
   // Cell-result cache directory (`--cache-dir`); empty disables caching.
   // See src/experiment/cell_cache.h for the key and invalidation contract.
   std::string cache_dir;

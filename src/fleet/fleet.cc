@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "src/fleet/island_pool.h"
 #include "src/sim/check.h"
 #include "src/sim/rng.h"
 #include "src/workload/catalog.h"
@@ -50,6 +51,11 @@ struct HostState {
   FleetHostStats stats;
   int64_t busy = 0;        // measured busy ns across segments
   TimeNs overhead = 0;     // measured controller overhead across segments
+  // Per-island wall-clock attribution sink (FleetSpec::profile != nullptr
+  // only). Private to this host so concurrent islands never share a sink;
+  // the coordinator sums all sinks after the run. Lives in HostState (not
+  // the Machine) so it survives migration rebuilds.
+  SimPhaseProfile profile;
 };
 
 class FleetRun {
@@ -169,7 +175,7 @@ void FleetRun::BuildHost(int h, TimeNs now) {
     }
   }
   if (spec_.profile != nullptr) {
-    host.machine->SetProfile(spec_.profile);
+    host.machine->SetProfile(&host.profile);
   }
   host.machine->Start();
   // The same window sentinels the single-Machine runner plants, in host-
@@ -496,12 +502,26 @@ FleetResult FleetRun::Run() {
   std::sort(boundaries.begin(), boundaries.end());
   boundaries.erase(std::unique(boundaries.begin(), boundaries.end()), boundaries.end());
 
-  for (const TimeNs b : boundaries) {
-    for (HostState& host : hosts_) {
+  // Island phase + barrier protocol. Advancing a host island to the
+  // boundary touches exclusively host-local state (its Simulation, Machine,
+  // stats), so the pool may hand islands to worker threads in any order and
+  // still produce the sequential loop's exact bytes. With island_threads <=
+  // 1 (or one host) the pool spawns nothing and this IS the sequential
+  // loop, island index order included. Everything below the barrier —
+  // metric resets, drains, rebalances, migrations — runs on this
+  // (coordinating) thread only.
+  IslandPool pool(std::min(spec_.island_threads, cfg_.hosts));
+  const auto advance_island = [this](TimeNs b) {
+    return [this, b](size_t h) {
+      HostState& host = hosts_[h];
       if (host.machine != nullptr) {
         host.stats.events += host.sim->RunUntil(b - host.build_time);
       }
-    }
+    };
+  };
+
+  for (const TimeNs b : boundaries) {
+    pool.Run(hosts_.size(), advance_island(b));
     if (b == t_warm_) {
       for (HostState& host : hosts_) {
         if (host.machine != nullptr) {
@@ -522,6 +542,16 @@ FleetResult FleetRun::Run() {
 
   for (HostState& host : hosts_) {
     SnapshotHost(host, t_end_);
+  }
+  if (spec_.profile != nullptr) {
+    // Merge the per-island attribution sinks in host index order. Wall-clock
+    // data only — it rides with the timing fields, never in stable JSON.
+    for (const HostState& host : hosts_) {
+      spec_.profile->event_core.seconds += host.profile.event_core.seconds;
+      spec_.profile->event_core.events += host.profile.event_core.events;
+      spec_.profile->llc_seconds += host.profile.llc_seconds;
+      spec_.profile->scheduler_seconds += host.profile.scheduler_seconds;
+    }
   }
   Finalize(result_);
   return std::move(result_);

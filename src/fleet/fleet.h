@@ -2,10 +2,20 @@
 // event order under a datacenter-level ClusterScheduler, with a live-
 // migration cost model.
 //
-// Determinism contract (tests/fleet_test.cc):
-//  * Each host owns its Simulation + Machine; the fleet steps hosts in fixed
-//    index order to shared epoch boundaries, so one fleet cell is a single-
-//    threaded pure function of its spec — byte-identical at any --jobs.
+// Determinism contract (tests/fleet_test.cc, tests/fleet_parallel_test.cc;
+// prose in docs/ARCHITECTURE.md "Determinism contract for parallel
+// islands"):
+//  * Each host owns its Simulation + Machine — one conservative-PDES
+//    *island*. Between epoch boundaries an island's event stream is a pure
+//    function of its own state: no cross-host reads, no shared counters, no
+//    shared RNG. The fleet is therefore byte-identical at any --jobs.
+//  * Islands advance to each shared epoch boundary either in fixed index
+//    order on one thread (island_threads <= 1, the default) or concurrently
+//    on an IslandPool (island_threads > 1). Because island runs touch only
+//    host-local state, the two schedules produce identical bytes; every
+//    cross-island effect (drain/rebalance proposals, migrations, fleet
+//    bookkeeping) is applied on the coordinating thread between barriers,
+//    in the same fixed order regardless of thread count.
 //  * Per-host RNG streams derive from the declared seed via FleetHostSeed
 //    (host index + rebuild generation), never from execution order.
 //  * A 1-host fleet with no migrations runs the exact event stream of the
@@ -107,9 +117,17 @@ struct FleetSpec {
   // applications — the manual configuration vSlicer/vTurbo need.
   std::function<std::unique_ptr<SchedController>(const std::vector<int>& io_vcpus)>
       controller_factory;
-  // Wall-clock phase attribution sink shared across all host machines
-  // (observational only, like Machine::SetProfile).
+  // Wall-clock phase attribution sink (observational only, like
+  // Machine::SetProfile). Each host accumulates into a private per-island
+  // sink; the coordinator sums them here after the run, so attaching a
+  // profile is race-free at any island_threads.
   SimPhaseProfile* profile = nullptr;
+  // Worker threads advancing host islands between epoch boundaries
+  // (values < 1 mean "one"). Execution-only knob: the result is byte-
+  // identical at every setting, so it is deliberately NOT part of
+  // FleetConfig (which is serialized into scenario JSON and the cell-cache
+  // fingerprint).
+  int island_threads = 1;
 };
 
 struct FleetHostStats {

@@ -1,0 +1,76 @@
+// Worker pool for deterministic parallel islands (src/fleet/fleet.cc).
+//
+// The fleet's conservative-PDES execution runs each host island's event
+// queue independently up to a shared epoch boundary. Island runs touch only
+// host-local state, so *any* assignment of islands to threads produces the
+// same bytes; the pool therefore hands out island indices through an atomic
+// counter (dynamic load balancing, no deterministic schedule needed) and the
+// coordinating thread participates as a worker.
+//
+// Synchronization protocol (ThreadSanitizer-checked by
+// tests/fleet_parallel_test.cc and the CI TSan job):
+//  * Run() publishes (task, n) under the mutex, bumps the epoch and wakes
+//    the workers; workers pick up the epoch under the same mutex, so the
+//    task publication happens-before every claim.
+//  * Island indices are claimed via fetch_add on an atomic cursor: each
+//    index is executed by exactly one thread per epoch.
+//  * Run() returns only after every worker has checked in under the mutex
+//    (and has itself drained the cursor), so all island writes
+//    happen-before the coordinator's cross-island merge phase.
+//
+// The pool is scoped to one fleet run: threads start in the constructor and
+// join in the destructor.
+
+#ifndef AQLSCHED_SRC_FLEET_ISLAND_POOL_H_
+#define AQLSCHED_SRC_FLEET_ISLAND_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aql {
+
+class IslandPool {
+ public:
+  // Spawns `threads - 1` workers (the calling thread is the last worker).
+  // `threads <= 1` spawns nothing; Run() then executes inline.
+  explicit IslandPool(int threads);
+  ~IslandPool();
+
+  IslandPool(const IslandPool&) = delete;
+  IslandPool& operator=(const IslandPool&) = delete;
+
+  // Executes task(i) for every i in [0, n) across the pool, including the
+  // calling thread, and returns when all n calls have finished. Must only
+  // be called from the thread that constructed the pool, one epoch at a
+  // time. `task` must not touch state shared across indices.
+  void Run(size_t n, const std::function<void(size_t)>& task);
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+ private:
+  void WorkerLoop();
+  // Claims indices from the cursor until the current epoch is drained.
+  void Drain();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  // Guarded by mu_: the current epoch's work and completion accounting.
+  uint64_t epoch_ = 0;
+  size_t n_ = 0;
+  const std::function<void(size_t)>* task_ = nullptr;
+  size_t busy_ = 0;  // workers still draining the current epoch
+  bool stop_ = false;
+  // Claimed outside the mutex; reset under it between epochs.
+  std::atomic<size_t> cursor_{0};
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_FLEET_ISLAND_POOL_H_

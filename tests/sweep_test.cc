@@ -237,12 +237,13 @@ TEST(SweepEngineTest, ProfileNeverEntersStableJson) {
 // captured from main before the engine overhaul (tests/goldens/README.md).
 // CI's bench-merge job covers all registered sweeps the same way; here we
 // pin two cheap representative ones into every ctest run.
-void ExpectMatchesGolden(const char* sweep) {
+void ExpectMatchesGolden(const char* sweep, int island_threads = 1) {
   const SweepSpec* spec = SweepRegistry::Instance().Find(sweep);
   ASSERT_NE(spec, nullptr) << sweep;
   SweepOptions options;
   options.quick = true;
   options.jobs = 1;
+  options.island_threads = island_threads;
   const SweepResult result = RunSweep(*spec, options);
   const std::string path =
       std::string(AQL_GOLDEN_DIR) + "/quick/BENCH_" + sweep + ".json";
@@ -276,6 +277,16 @@ TEST(GoldenTest, FleetConsolidationQuickMatchesCommittedGolden) {
 
 TEST(GoldenTest, FleetDrainQuickMatchesCommittedGolden) {
   ExpectMatchesGolden("fleet_drain");
+}
+
+// Parallel islands reproduce the same committed goldens — the bytes were
+// baselined sequentially, so this pins --island-threads as execution-only
+// (no re-baselining allowed; see tests/fleet_parallel_test.cc for the
+// full differential sweep across thread counts).
+TEST(GoldenTest, FleetGoldensReproduceWithParallelIslands) {
+  for (const char* sweep : {"fleet_hotspot", "fleet_consolidation", "fleet_drain"}) {
+    ExpectMatchesGolden(sweep, /*island_threads=*/4);
+  }
 }
 #endif  // AQL_GOLDEN_DIR
 
