@@ -16,6 +16,17 @@ import sys
 LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
 EXTERNAL = ("http://", "https://", "mailto:")
 
+# Core docs that must exist and be checked in a default run; a walk that
+# misses one (renamed, deleted, or an outdated default path list) fails
+# instead of passing vacuously.
+REQUIRED = [
+    "README.md",
+    os.path.join("docs", "ARCHITECTURE.md"),
+    os.path.join("docs", "BENCH_FORMAT.md"),
+    os.path.join("docs", "TRACE_FORMAT.md"),
+    os.path.join("docs", "WORKLOADS.md"),
+]
+
 
 def markdown_files(args):
     paths = args or ["README.md", "docs"]
@@ -61,6 +72,10 @@ def main():
         print("check_md_links: no markdown files found", file=sys.stderr)
         return 1
     errors = []
+    if not sys.argv[1:]:  # default run: the core doc set must be present
+        for req in REQUIRED:
+            if req not in files:
+                errors.append(f"check_md_links: required doc missing: {req}")
     for path in files:
         errors.extend(check_file(path))
     for err in errors:

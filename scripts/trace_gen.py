@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Reference emitter for the AQL trace format (docs/TRACE_FORMAT.md).
+
+Generates the five benchmark traces of the trace_replay sweep from the same
+parameter table as the C++ writer in bench/sweeps/trace_replay.cc. The two
+emitters must produce byte-identical files — tests/trace_replay_test.cc
+compares them — so lines are composed with explicit key order and literal
+number spellings rather than json.dumps (whose float formatting is
+implementation-defined).
+
+Usage:
+  scripts/trace_gen.py <kind> [-o FILE]     emit one trace (default: stdout)
+  scripts/trace_gen.py --all -d DIR         emit every kind into DIR
+  scripts/trace_gen.py --list               list available kinds
+
+Kinds: io, lolcf, llcf, llco, membw.
+"""
+
+import argparse
+import os
+import sys
+
+WRAP_NS = 1000000000
+
+# kind -> (op, ops, period_ns, burst_ns, wss_bytes, llc_refs_per_ns as the
+# literal decimal text both emitters print). Mirrors kKinds[] in
+# bench/sweeps/trace_replay.cc.
+KINDS = {
+    "io": ("io", 400, 2500000, 150000, 65536, "0.00005"),
+    "lolcf": ("compute", 200, 5000000, 5000000, 235520, "0.00004"),
+    "llcf": ("compute", 200, 5000000, 5000000, 3145728, "0.005"),
+    "llco": ("compute", 200, 5000000, 5000000, 16777216, "0.012"),
+    "membw": ("compute", 200, 5000000, 5000000, 67108864, "0.05"),
+}
+
+
+def trace_text(kind):
+    op, ops, period_ns, burst_ns, wss_bytes, refs_text = KINDS[kind]
+    lines = [
+        f'{{"aql_trace": 1, "streams": 1, "wrap_ns": {WRAP_NS}, '
+        f'"name": "trace_{kind}", "default_mem": {{"wss_bytes": {wss_bytes}, '
+        f'"llc_refs_per_ns": {refs_text}}}}}'
+    ]
+    for i in range(ops):
+        lines.append(
+            f'{{"stream": 0, "op": "{op}", "at": {i * period_ns}, '
+            f'"burst_ns": {burst_ns}}}'
+        )
+    return "".join(line + "\n" for line in lines)
+
+
+def write(path, text):
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        f.write(text)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("kind", nargs="?", choices=sorted(KINDS), help="trace kind")
+    parser.add_argument("-o", "--output", help="output file (default: stdout)")
+    parser.add_argument("--all", action="store_true", help="emit every kind")
+    parser.add_argument("-d", "--dir", default="bench_traces",
+                        help="output directory for --all (default: bench_traces)")
+    parser.add_argument("--list", action="store_true", help="list kinds and exit")
+    args = parser.parse_args()
+
+    if args.list:
+        for kind in sorted(KINDS):
+            op, ops, period_ns, burst_ns, wss_bytes, refs = KINDS[kind]
+            print(f"{kind}: {ops} '{op}' ops, period {period_ns} ns, "
+                  f"burst {burst_ns} ns, wss {wss_bytes} B, refs {refs}/ns")
+        return 0
+
+    if args.all:
+        os.makedirs(args.dir, exist_ok=True)
+        for kind in sorted(KINDS):
+            path = os.path.join(args.dir, f"trace_{kind}.jsonl")
+            write(path, trace_text(kind))
+            print(f"wrote {path}")
+        return 0
+
+    if not args.kind:
+        parser.error("a kind, --all or --list is required")
+    text = trace_text(args.kind)
+    if args.output:
+        write(args.output, text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

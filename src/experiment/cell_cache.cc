@@ -107,10 +107,28 @@ std::string MachineConfigText(const MachineConfig& mc) {
   return os.str();
 }
 
+// Trace-driven cells fingerprint the trace file's *content*, not just its
+// path: editing a trace must invalidate every cached cell that replayed it.
+// An unreadable file gets a sentinel (the run itself will then fail with the
+// loader's error; the cache just must not serve a stale hit meanwhile).
+std::string TraceContentText(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    return "<unreadable:" + path + ">";
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
 uint64_t CellConfigFingerprint(const SweepCell& cell) {
   std::string text = ScenarioJson(cell.scenario).Dump();
   text += '\n';
   text += MachineConfigText(cell.scenario.machine);
+  if (!cell.scenario.trace_path.empty()) {
+    text += "\n|trace=";
+    text += TraceContentText(cell.scenario.trace_path);
+  }
   // The one fleet knob the scenario JSON omits (it only matters when the
   // host template declares no memory bandwidth).
   if (cell.scenario.fleet.hosts > 0) {

@@ -9,6 +9,7 @@
 #include "src/baselines/vturbo.h"
 #include "src/sim/check.h"
 #include "src/workload/catalog.h"
+#include "src/workload/source.h"
 
 namespace aql {
 
@@ -53,6 +54,12 @@ std::unique_ptr<SchedController> MakeController(const PolicySpec& policy,
 // summary group.
 ScenarioResult RunFleetScenario(const ScenarioSpec& spec, const PolicySpec& policy,
                                 const RunOptions& options) {
+  // Trace replay is single-machine only: fleet VMs migrate between hosts and
+  // would need per-host stream re-attachment semantics the format does not
+  // define.
+  AQL_CHECK_MSG(spec.trace_path.empty(),
+                "trace-driven scenarios cannot run on a fleet");
+
   const auto wall_start = std::chrono::steady_clock::now();
 
   MachineConfig mc = spec.machine;
@@ -157,20 +164,37 @@ ScenarioResult RunScenario(const ScenarioSpec& spec, const PolicySpec& policy,
   Simulation sim(mc.seed);
   Machine machine(sim, mc);
 
-  // Build VMs and remember which vCPUs belong to I/O applications (the
-  // manual configuration vSlicer/vTurbo require).
+  // Build VMs through the workload-source layer and remember which vCPUs
+  // belong to I/O applications (the manual configuration vSlicer/vTurbo
+  // require).
   std::vector<int> io_vcpus;
   int vm_index = 0;
+  int trace_vms = 0;
   for (const VmSpec& vs : spec.vms) {
     Vm* vm = machine.AddVm("vm" + std::to_string(vm_index++) + "_" + vs.app, vs.weight,
                            vs.cap_percent);
-    AppOptions app_options;
-    app_options.fifo_lock = vs.fifo_lock;
-    auto models = MakeApp(vs.app, vs.vcpus, app_options);
-    const bool is_io = FindApp(vs.app).expected_type == VcpuType::kIoInt;
-    for (auto& model : models) {
-      Vcpu* v = machine.AddVcpu(vm, std::move(model));
-      if (is_io) {
+    WorkloadSourceSpec source_spec;
+    if (vs.app == kTraceAppName) {
+      AQL_CHECK_MSG(!spec.trace_path.empty(),
+                    "trace VM requires ScenarioSpec::trace_path");
+      AQL_CHECK_MSG(++trace_vms == 1, "at most one trace VM per scenario");
+      source_spec.backend = "trace";
+      source_spec.trace_path = spec.trace_path;
+    } else {
+      source_spec.backend = "catalog";
+      source_spec.app = vs.app;
+      source_spec.vcpus = vs.vcpus;
+      source_spec.options.fifo_lock = vs.fifo_lock;
+    }
+    std::string source_error;
+    auto source = MakeWorkloadSource(source_spec, &source_error);
+    AQL_CHECK_MSG(source != nullptr, source_error.c_str());
+    AQL_CHECK_MSG(source->Streams() == vs.vcpus,
+                  "VmSpec::vcpus must equal the source's stream count");
+    auto models = source->MakeModels();
+    for (int s = 0; s < source->Streams(); ++s) {
+      Vcpu* v = machine.AddVcpu(vm, std::move(models[static_cast<size_t>(s)]));
+      if (source->StreamHasIo(s)) {
         io_vcpus.push_back(v->id());
       }
     }

@@ -14,8 +14,14 @@
 
 namespace aql {
 
+// The reserved VmSpec::app name of a trace-driven VM (workload-source
+// "trace" backend): its vCPUs replay ScenarioSpec::trace_path instead of a
+// catalog application.
+inline constexpr const char* kTraceAppName = "trace";
+
 // One VM running `vcpus` instances of catalog application `app` (ConSpin
-// applications share the VM's spin lock).
+// applications share the VM's spin lock), or — when `app` is kTraceAppName —
+// the scenario's trace file (`vcpus` must equal its stream count).
 struct VmSpec {
   std::string app;
   int vcpus = 1;
@@ -35,6 +41,11 @@ struct ScenarioSpec {
   // the per-host template, `vms` is the fleet-wide VM population, and the
   // runner dispatches to RunFleet instead of building one Machine.
   FleetConfig fleet;
+  // Trace-driven scenarios: the JSON-lines trace (docs/TRACE_FORMAT.md)
+  // replayed by the VM whose app is kTraceAppName. Enters the scenario JSON
+  // and the cell-cache fingerprint (including the file's content, so edited
+  // traces invalidate cached cells). Single-machine scenarios only.
+  std::string trace_path;
 };
 
 // Scheduling policy under test.

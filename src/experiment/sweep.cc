@@ -292,6 +292,11 @@ JsonValue ScenarioJson(const ScenarioSpec& spec) {
       .Set("warmup_ms", ToMs(spec.warmup))
       .Set("measure_ms", ToMs(spec.measure))
       .Set("vms", std::move(vms));
+  if (!spec.trace_path.empty()) {
+    // Trace-driven scenarios only: absent otherwise so the JSON of existing
+    // scenarios (and the committed goldens) stays byte-identical.
+    s.Set("trace_path", spec.trace_path);
+  }
   if (spec.fleet.hosts > 0) {
     // Fleet scenarios only: absent for single-machine scenarios so their
     // JSON (and the committed goldens) stays byte-identical. `pcpus` above

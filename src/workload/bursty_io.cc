@@ -32,7 +32,10 @@ void BurstyIoModel::OnAttach(WorkloadHost* host, int vcpu) {
 
 void BurstyIoModel::ScheduleNextArrival(TimeNs now) {
   const TimeNs mean = static_cast<TimeNs>(1e9 / config_.on_arrival_rate_hz);
-  const TimeNs gap = host_->WorkloadRng().ExponentialNs(mean);
+  ScheduleArrivalIn(now, host_->WorkloadRng().ExponentialNs(mean));
+}
+
+void BurstyIoModel::ScheduleArrivalIn(TimeNs now, TimeNs gap) {
   host_->ScheduleTimer(now + gap, vcpu_, ArrivalTag(phase_generation_));
 }
 

@@ -57,8 +57,17 @@ class BurstyIoModel : public WorkloadModel {
   uint64_t dropped_requests() const { return dropped_; }
   const SampleStats& latency_us() const { return latency_us_; }
 
+ protected:
+  // Samples the next inter-arrival gap at the configured ON rate. The
+  // diurnal web generator (src/workload/diurnal_web.h) overrides this to
+  // modulate the rate with its day/night curve and flash-crowd windows.
+  virtual void ScheduleNextArrival(TimeNs now);
+  // Schedules an arrival `gap` from `now`, stamped with the current
+  // ON-phase generation (stale arrivals are discarded after a phase flip).
+  void ScheduleArrivalIn(TimeNs now, TimeNs gap);
+  const BurstyIoConfig& config() const { return config_; }
+
  private:
-  void ScheduleNextArrival(TimeNs now);
   void SchedulePhaseFlip(TimeNs now);
 
   BurstyIoConfig config_;

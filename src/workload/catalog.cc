@@ -7,6 +7,7 @@
 #include "src/sim/check.h"
 #include "src/workload/bursty_io.h"
 #include "src/workload/cpu_burn.h"
+#include "src/workload/diurnal_web.h"
 #include "src/workload/io_server.h"
 #include "src/workload/mem_stream.h"
 #include "src/workload/spin_sync.h"
@@ -56,6 +57,52 @@ SpinSyncConfig Spin(const std::string& name, TimeNs compute, TimeNs critical, ui
   return c;
 }
 
+// --- nominal op descriptors (the catalog backend's NextOp view) ---
+//
+// Each overload condenses a generator config into the steady-state op its
+// stream repeats. These are descriptive summaries only: simulation behaviour
+// still comes from the model factories below.
+
+NominalOp Nominal(bool io, TimeNs period, TimeNs burst, const MemProfile& mem) {
+  NominalOp n;
+  n.io = io;
+  n.period = period;
+  n.burst = burst;
+  n.mem = mem;
+  return n;
+}
+
+NominalOp NominalOf(const CpuBurnConfig& c) {
+  return Nominal(false, 0, c.phase, c.mem);
+}
+
+NominalOp NominalOf(const IoServerConfig& c) {
+  const TimeNs period = static_cast<TimeNs>(1e9 / c.arrival_rate_hz);
+  return Nominal(true, period, c.service_work + c.cgi_work, c.mem);
+}
+
+NominalOp NominalOf(const SpinSyncConfig& c) {
+  return Nominal(false, 0, c.compute + c.critical, c.mem);
+}
+
+NominalOp NominalOf(const MemStreamConfig& c) {
+  return Nominal(false, 0, c.burst, c.mem);
+}
+
+NominalOp NominalOf(const BurstyIoConfig& c) {
+  // Mean spacing across one on/off cycle: arrivals only land in ON phases.
+  const double ops_per_cycle = c.on_arrival_rate_hz * ToSec(c.on_duration);
+  const TimeNs period = static_cast<TimeNs>(
+      static_cast<double>(c.on_duration + c.off_duration) / ops_per_cycle);
+  return Nominal(true, period, c.service_work, c.mem);
+}
+
+NominalOp NominalOf(const DiurnalWebConfig& c) {
+  // The day/night triangle wave is zero-mean, so the nominal op is the base
+  // bursty stream's.
+  return NominalOf(c.bursty);
+}
+
 using Factory =
     std::function<std::vector<std::unique_ptr<WorkloadModel>>(int count,
                                                               const AppOptions& options)>;
@@ -63,6 +110,7 @@ using Factory =
 struct Entry {
   AppProfile profile;
   Factory make;
+  NominalOp nominal;
 };
 
 Factory MakeBurnFactory(CpuBurnConfig cfg) {
@@ -105,6 +153,16 @@ Factory MakeBurstyFactory(BurstyIoConfig cfg) {
   };
 }
 
+Factory MakeDiurnalFactory(DiurnalWebConfig cfg) {
+  return [cfg](int count, const AppOptions&) {
+    std::vector<std::unique_ptr<WorkloadModel>> out;
+    for (int i = 0; i < count; ++i) {
+      out.push_back(std::make_unique<DiurnalWebModel>(cfg));
+    }
+    return out;
+  };
+}
+
 Factory MakeSpinFactory(SpinSyncConfig cfg) {
   return [cfg](int count, const AppOptions& options) {
     auto lock = std::make_shared<SpinLock>(options.fifo_lock);
@@ -123,40 +181,58 @@ Factory MakeSpinFactory(SpinSyncConfig cfg) {
 const std::vector<Entry>& Entries() {
   static const std::vector<Entry>* entries = [] {
     auto* e = new std::vector<Entry>;
-    auto add = [e](const std::string& name, VcpuType t, const std::string& suite,
-                   Factory make) {
-      e->push_back(Entry{AppProfile{name, t, suite, /*extended=*/false}, std::move(make)});
+    // Typed registration helpers: each derives the nominal op descriptor
+    // from the same config the model factory captures.
+    auto add_io = [e](const std::string& suite, const IoServerConfig& cfg) {
+      e->push_back(Entry{AppProfile{cfg.name, VcpuType::kIoInt, suite,
+                                    /*extended=*/false},
+                         MakeIoFactory(cfg), NominalOf(cfg)});
     };
-    auto add_extended = [e](const std::string& name, VcpuType t, const std::string& suite,
-                            Factory make) {
-      e->push_back(Entry{AppProfile{name, t, suite, /*extended=*/true}, std::move(make)});
+    auto add_spin = [e](const std::string& suite, const SpinSyncConfig& cfg) {
+      e->push_back(Entry{AppProfile{cfg.name, VcpuType::kConSpin, suite,
+                                    /*extended=*/false},
+                         MakeSpinFactory(cfg), NominalOf(cfg)});
+    };
+    auto add_burn = [e](VcpuType t, const std::string& suite, const CpuBurnConfig& cfg) {
+      e->push_back(Entry{AppProfile{cfg.name, t, suite, /*extended=*/false},
+                         MakeBurnFactory(cfg), NominalOf(cfg)});
+    };
+    auto add_stream = [e](VcpuType t, const std::string& suite,
+                          const MemStreamConfig& cfg) {
+      e->push_back(Entry{AppProfile{cfg.name, t, suite, /*extended=*/true},
+                         MakeStreamFactory(cfg), NominalOf(cfg)});
+    };
+    auto add_bursty = [e](const std::string& suite, const BurstyIoConfig& cfg) {
+      e->push_back(Entry{AppProfile{cfg.name, VcpuType::kBurstyIo, suite,
+                                    /*extended=*/true},
+                         MakeBurstyFactory(cfg), NominalOf(cfg)});
+    };
+    auto add_diurnal = [e](const std::string& suite, const DiurnalWebConfig& cfg) {
+      e->push_back(Entry{AppProfile{cfg.bursty.name, VcpuType::kBurstyIo, suite,
+                                    /*extended=*/true},
+                         MakeDiurnalFactory(cfg), NominalOf(cfg)});
     };
 
     // --- I/O intensive (reference suites + Table 1 micro-benchmarks) ---
     // Heterogeneous web serving: CGI computation defeats Xen's BOOST.
-    add("SPECweb2009", VcpuType::kIoInt, "SPECweb2009",
-        MakeIoFactory(
-            Io("SPECweb2009", 300.0, Us(100), Us(600), Mem(512 * kKiB, 0.001), true)));
-    add("SPECmail2009", VcpuType::kIoInt, "SPECmail2009",
-        MakeIoFactory(
-            Io("SPECmail2009", 400.0, Us(50), Us(350), Mem(256 * kKiB, 0.0008), true)));
-    add("wordpress", VcpuType::kIoInt, "micro",
-        MakeIoFactory(Io("wordpress", 300.0, Us(100), Us(600), Mem(512 * kKiB, 0.001), true)));
+    add_io("SPECweb2009",
+           Io("SPECweb2009", 300.0, Us(100), Us(600), Mem(512 * kKiB, 0.001), true));
+    add_io("SPECmail2009",
+           Io("SPECmail2009", 400.0, Us(50), Us(350), Mem(256 * kKiB, 0.0008), true));
+    add_io("micro",
+           Io("wordpress", 300.0, Us(100), Us(600), Mem(512 * kKiB, 0.001), true));
     // Exclusive network workload: blocks between requests, BOOST applies.
-    add("pure_io", VcpuType::kIoInt, "micro",
-        MakeIoFactory(Io("pure_io", 500.0, Us(150), 0, Mem(64 * kKiB, 0.00005), false)));
+    add_io("micro", Io("pure_io", 500.0, Us(150), 0, Mem(64 * kKiB, 0.00005), false));
     // IOInt+ of the 4-socket scenario (§3.5): I/O intensive *and* trashing
     // the LLC with its per-request computation.
-    add("specweb_trasher", VcpuType::kIoInt, "micro",
-        MakeIoFactory(
-            Io("specweb_trasher", 180.0, Us(100), Us(600), Mem(12 * kMiB, 0.006), true)));
+    add_io("micro",
+           Io("specweb_trasher", 180.0, Us(100), Us(600), Mem(12 * kMiB, 0.006), true));
 
     // --- ConSpin (kernbench + PARSEC) ---
     // Lock duty cycles are kept around 1% (realistic fine-grained kernel /
     // pthread locks); the dominant quantum sensitivity comes from barrier
     // phases stalled by descheduled stragglers.
-    add("kernbench", VcpuType::kConSpin, "micro",
-        MakeSpinFactory(Spin("kernbench", Us(1000), Us(10), kMiB, 0.001, 80)));
+    add_spin("micro", Spin("kernbench", Us(1000), Us(10), kMiB, 0.001, 80));
     struct ParsecSpec {
       const char* name;
       TimeNs compute;
@@ -180,52 +256,35 @@ const std::vector<Entry>& Entries() {
         {"x264", Us(1000), Us(10), kMiB, 0.0011, 120},
     };
     for (const ParsecSpec& p : parsec) {
-      add(p.name, VcpuType::kConSpin, "PARSEC",
-          MakeSpinFactory(Spin(p.name, p.compute, p.critical, p.wss, p.refs,
-                               p.barrier_every)));
+      add_spin("PARSEC", Spin(p.name, p.compute, p.critical, p.wss, p.refs,
+                              p.barrier_every));
     }
 
     // --- LLCF: working set fits the 8 MB LLC ---
-    add("astar", VcpuType::kLlcf, "SPEC CPU2006",
-        MakeBurnFactory(Burn("astar", 3 * kMiB, 0.0050)));
-    add("xalancbmk", VcpuType::kLlcf, "SPEC CPU2006",
-        MakeBurnFactory(Burn("xalancbmk", 5 * kMiB / 2, 0.0060)));
-    add("bzip2", VcpuType::kLlcf, "SPEC CPU2006",
-        MakeBurnFactory(Burn("bzip2", 7 * kMiB / 2, 0.0055)));
-    add("gcc", VcpuType::kLlcf, "SPEC CPU2006",
-        MakeBurnFactory(Burn("gcc", 4 * kMiB, 0.0045)));
-    add("omnetpp", VcpuType::kLlcf, "SPEC CPU2006",
-        MakeBurnFactory(Burn("omnetpp", 5 * kMiB, 0.0060)));
+    add_burn(VcpuType::kLlcf, "SPEC CPU2006", Burn("astar", 3 * kMiB, 0.0050));
+    add_burn(VcpuType::kLlcf, "SPEC CPU2006", Burn("xalancbmk", 5 * kMiB / 2, 0.0060));
+    add_burn(VcpuType::kLlcf, "SPEC CPU2006", Burn("bzip2", 7 * kMiB / 2, 0.0055));
+    add_burn(VcpuType::kLlcf, "SPEC CPU2006", Burn("gcc", 4 * kMiB, 0.0045));
+    add_burn(VcpuType::kLlcf, "SPEC CPU2006", Burn("omnetpp", 5 * kMiB, 0.0060));
     // Table 1 linked-list micro-benchmark, configured at half the LLC.
-    add("llcf_list", VcpuType::kLlcf, "micro",
-        MakeBurnFactory(Burn("llcf_list", 4 * kMiB, 0.0080)));
+    add_burn(VcpuType::kLlcf, "micro", Burn("llcf_list", 4 * kMiB, 0.0080));
     // Smaller LLC-friendly disturber used in the calibration rigs (reused
     // working sets create legitimate capacity contention).
-    add("llcf_list2", VcpuType::kLlcf, "micro",
-        MakeBurnFactory(Burn("llcf_list2", 3 * kMiB, 0.0060)));
+    add_burn(VcpuType::kLlcf, "micro", Burn("llcf_list2", 3 * kMiB, 0.0060));
 
     // --- LoLCF: working set fits L1/L2 ---
-    add("hmmer", VcpuType::kLoLcf, "SPEC CPU2006",
-        MakeBurnFactory(Burn("hmmer", 180 * kKiB, 0.00003)));
-    add("gobmk", VcpuType::kLoLcf, "SPEC CPU2006",
-        MakeBurnFactory(Burn("gobmk", 200 * kKiB, 0.00005)));
-    add("perlbench", VcpuType::kLoLcf, "SPEC CPU2006",
-        MakeBurnFactory(Burn("perlbench", 150 * kKiB, 0.00004)));
-    add("sjeng", VcpuType::kLoLcf, "SPEC CPU2006",
-        MakeBurnFactory(Burn("sjeng", 120 * kKiB, 0.00002)));
-    add("h264ref", VcpuType::kLoLcf, "SPEC CPU2006",
-        MakeBurnFactory(Burn("h264ref", 220 * kKiB, 0.00006)));
+    add_burn(VcpuType::kLoLcf, "SPEC CPU2006", Burn("hmmer", 180 * kKiB, 0.00003));
+    add_burn(VcpuType::kLoLcf, "SPEC CPU2006", Burn("gobmk", 200 * kKiB, 0.00005));
+    add_burn(VcpuType::kLoLcf, "SPEC CPU2006", Burn("perlbench", 150 * kKiB, 0.00004));
+    add_burn(VcpuType::kLoLcf, "SPEC CPU2006", Burn("sjeng", 120 * kKiB, 0.00002));
+    add_burn(VcpuType::kLoLcf, "SPEC CPU2006", Burn("h264ref", 220 * kKiB, 0.00006));
     // Table 1 micro-benchmark at 90% of L2.
-    add("lolcf_list", VcpuType::kLoLcf, "micro",
-        MakeBurnFactory(Burn("lolcf_list", 230 * kKiB, 0.00004)));
+    add_burn(VcpuType::kLoLcf, "micro", Burn("lolcf_list", 230 * kKiB, 0.00004));
 
     // --- LLCO: working set overflows the LLC ---
-    add("mcf", VcpuType::kLlco, "SPEC CPU2006",
-        MakeBurnFactory(Burn("mcf", 14 * kMiB, 0.0070)));
-    add("libquantum", VcpuType::kLlco, "SPEC CPU2006",
-        MakeBurnFactory(Burn("libquantum", 24 * kMiB, 0.0090)));
-    add("llco_list", VcpuType::kLlco, "micro",
-        MakeBurnFactory(Burn("llco_list", 16 * kMiB, 0.0120)));
+    add_burn(VcpuType::kLlco, "SPEC CPU2006", Burn("mcf", 14 * kMiB, 0.0070));
+    add_burn(VcpuType::kLlco, "SPEC CPU2006", Burn("libquantum", 24 * kMiB, 0.0090));
+    add_burn(VcpuType::kLlco, "micro", Burn("llco_list", 16 * kMiB, 0.0120));
 
     // --- Extended catalog (post-paper types; excluded from Catalog()) ---
 
@@ -240,18 +299,16 @@ const std::vector<Entry>& Entries() {
       c.mem.remote_fraction = remote_fraction;
       return c;
     };
-    add_extended("stream_triad", VcpuType::kMemBw, "STREAM",
-                 MakeStreamFactory(stream("stream_triad", 64 * kMiB, 0.050, 0.0)));
-    add_extended("membw_scan", VcpuType::kMemBw, "micro",
-                 MakeStreamFactory(stream("membw_scan", 32 * kMiB, 0.040, 0.0)));
+    add_stream(VcpuType::kMemBw, "STREAM", stream("stream_triad", 64 * kMiB, 0.050, 0.0));
+    add_stream(VcpuType::kMemBw, "micro", stream("membw_scan", 32 * kMiB, 0.040, 0.0));
 
     // NumaRemote: moderate-rate streaming against memory pinned to a remote
     // node — MPKI stays below the MemBw limit, but the remote-access ratio
     // saturates the NumaRemote cursor. Only meaningful on multi-socket rigs.
-    add_extended("numa_stream", VcpuType::kNumaRemote, "micro",
-                 MakeStreamFactory(stream("numa_stream", 16 * kMiB, 0.0040, 0.90)));
-    add_extended("numa_mcf", VcpuType::kNumaRemote, "micro",
-                 MakeStreamFactory(stream("numa_mcf", 20 * kMiB, 0.0060, 0.75)));
+    add_stream(VcpuType::kNumaRemote, "micro",
+               stream("numa_stream", 16 * kMiB, 0.0040, 0.90));
+    add_stream(VcpuType::kNumaRemote, "micro",
+               stream("numa_mcf", 20 * kMiB, 0.0060, 0.75));
 
     // BurstyIo: diurnal on/off request service. Phases of 2.5 monitoring
     // periods guarantee every vTRS window sees both a saturated and a silent
@@ -266,10 +323,31 @@ const std::vector<Entry>& Entries() {
       c.mem = Mem(wss, refs_per_ns);
       return c;
     };
-    add_extended("diurnal_web", VcpuType::kBurstyIo, "micro",
-                 MakeBurstyFactory(bursty("diurnal_web", 400.0, Us(150), 3 * kMiB, 0.004)));
-    add_extended("bursty_logger", VcpuType::kBurstyIo, "micro",
-                 MakeBurstyFactory(bursty("bursty_logger", 500.0, Us(100), 2 * kMiB, 0.003)));
+    add_bursty("micro", bursty("diurnal_web", 400.0, Us(150), 3 * kMiB, 0.004));
+    add_bursty("micro", bursty("bursty_logger", 500.0, Us(100), 2 * kMiB, 0.003));
+
+    // Multi-tenant web with a day/night macro curve on top of the on/off
+    // micro-phases. Trough rates (base * (1 - amplitude)) stay well above
+    // the I/O cursor threshold, so classification remains BurstyIo across
+    // the whole cycle.
+    {
+      DiurnalWebConfig c;
+      c.bursty = bursty("tenant_web_diurnal", 400.0, Us(150), 3 * kMiB, 0.004);
+      c.day_night_amplitude = 0.6;
+      c.day_night_period = Sec(2);
+      add_diurnal("micro", c);
+    }
+    // Flash-crowd variant: 3x spikes of 200 ms every simulated second.
+    {
+      DiurnalWebConfig c;
+      c.bursty = bursty("tenant_web_flash", 300.0, Us(150), 5 * kMiB / 2, 0.0035);
+      c.day_night_amplitude = 0.4;
+      c.day_night_period = Sec(2);
+      c.flash_multiplier = 3.0;
+      c.flash_every = Sec(1);
+      c.flash_duration = Ms(200);
+      add_diurnal("micro", c);
+    }
 
     return e;
   }();
@@ -321,6 +399,8 @@ bool HasApp(const std::string& name) {
   }
   return false;
 }
+
+const NominalOp& NominalOpFor(const std::string& name) { return FindEntry(name).nominal; }
 
 std::vector<std::unique_ptr<WorkloadModel>> MakeApp(const std::string& name, int count,
                                                     const AppOptions& options) {

@@ -50,6 +50,25 @@ struct AppOptions {
   bool fifo_lock = false;
 };
 
+// Nominal steady-state op descriptor of a catalog application: what one
+// operation of its op stream looks like (the catalog backend of the
+// workload-source API synthesizes its NextOp view from this). Purely
+// descriptive — simulation behaviour comes from the WorkloadModel
+// instances, which keep their stochastic processes.
+struct NominalOp {
+  // True for request-serving applications (ops are I/O arrivals).
+  bool io = false;
+  // Mean arrival spacing; 0 = back-to-back compute (always-runnable).
+  TimeNs period = 0;
+  // Pure work per op.
+  TimeNs burst = 0;
+  // Memory behaviour of the op's burst.
+  MemProfile mem;
+};
+
+// Nominal op descriptor lookup; aborts on unknown names.
+const NominalOp& NominalOpFor(const std::string& name);
+
 // Instantiates `count` vCPU workload models for `name`. For ConSpin
 // applications the models share one spin lock (threads of one VM); for all
 // other types the models are independent replicas.

@@ -1,0 +1,56 @@
+#include "src/workload/diurnal_web.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+namespace {
+
+// Triangle wave in [-1, 1] with period 1 over the fractional phase: rises
+// from 0 to 1 over the first quarter, falls to -1 through the third, returns
+// to 0. Exact double arithmetic (no libm) keeps it bit-identical across
+// platforms.
+double Triangle(double phase) {
+  phase -= static_cast<double>(static_cast<int64_t>(phase));  // frac, [0, 1)
+  if (phase < 0.25) {
+    return 4.0 * phase;
+  }
+  if (phase < 0.75) {
+    return 2.0 - 4.0 * phase;
+  }
+  return 4.0 * phase - 4.0;
+}
+
+}  // namespace
+
+DiurnalWebModel::DiurnalWebModel(const DiurnalWebConfig& config)
+    : BurstyIoModel(config.bursty), dconfig_(config) {
+  AQL_CHECK(dconfig_.day_night_amplitude >= 0.0 && dconfig_.day_night_amplitude < 1.0);
+  AQL_CHECK(dconfig_.day_night_period > 0);
+  if (dconfig_.flash_every > 0) {
+    AQL_CHECK(dconfig_.flash_multiplier > 0.0);
+    AQL_CHECK(dconfig_.flash_duration > 0 &&
+              dconfig_.flash_duration <= dconfig_.flash_every);
+  }
+}
+
+double DiurnalWebModel::RateAt(TimeNs now) const {
+  double rate = config().on_arrival_rate_hz;
+  if (dconfig_.day_night_amplitude > 0.0) {
+    const double phase =
+        static_cast<double>(now) / static_cast<double>(dconfig_.day_night_period);
+    rate *= 1.0 + dconfig_.day_night_amplitude * Triangle(phase);
+  }
+  if (dconfig_.flash_every > 0 && now % dconfig_.flash_every < dconfig_.flash_duration) {
+    rate *= dconfig_.flash_multiplier;
+  }
+  return std::max(rate, 1.0);
+}
+
+void DiurnalWebModel::ScheduleNextArrival(TimeNs now) {
+  const TimeNs mean = static_cast<TimeNs>(1e9 / RateAt(now));
+  ScheduleArrivalIn(now, host_->WorkloadRng().ExponentialNs(mean));
+}
+
+}  // namespace aql

@@ -1,0 +1,64 @@
+// Diurnal multi-tenant web workload: the "millions of users" day/night load
+// curve plus flash-crowd spikes, layered on the BurstyIo request server.
+//
+// The BurstyIo base keeps its ~75 ms on/off micro-phases (what the vTRS
+// bursty cursor measures — the I/O-cursor dispersion across the sliding
+// window), and this model modulates the ON-phase arrival rate on top:
+//
+//   rate(t) = base * (1 + amplitude * tri(t / period)) * flash(t)
+//
+// where tri() is a piecewise-linear triangle wave in [-1, 1] (a day/night
+// curve computed with exact double arithmetic — no libm, so the sampled
+// arrival gaps are bit-identical on every platform), and flash(t) multiplies
+// the rate by `flash_multiplier` during periodic flash-crowd windows. The
+// modulation is an inhomogeneous-Poisson approximation: each gap is sampled
+// exponentially at the rate in effect when it is scheduled.
+//
+// Classification: the macro curve leaves the micro-structure intact — every
+// vTRS window still sees saturated and silent I/O periods as long as
+// base * (1 - amplitude) keeps several arrivals per monitoring period — so
+// the model stays a BurstyIo type at any point of the day/night cycle.
+
+#ifndef AQLSCHED_SRC_WORKLOAD_DIURNAL_WEB_H_
+#define AQLSCHED_SRC_WORKLOAD_DIURNAL_WEB_H_
+
+#include "src/workload/bursty_io.h"
+
+namespace aql {
+
+struct DiurnalWebConfig {
+  // Base request server: ON-phase rate, micro-phase durations, service cost,
+  // memory behaviour. `bursty.on_arrival_rate_hz` is the mean (mid-curve)
+  // rate the day/night curve modulates.
+  BurstyIoConfig bursty;
+  // Peak-to-mean swing of the day/night curve, in [0, 1).
+  double day_night_amplitude = 0.6;
+  // Full day/night cycle length (simulated seconds stand in for hours: the
+  // default puts several cycles inside a full measure window and at least
+  // one inside a quick one).
+  TimeNs day_night_period = Sec(2);
+  // Flash crowds: every `flash_every`, the rate multiplies by
+  // `flash_multiplier` for `flash_duration`. flash_every == 0 disables.
+  double flash_multiplier = 1.0;
+  TimeNs flash_every = 0;
+  TimeNs flash_duration = 0;
+};
+
+class DiurnalWebModel : public BurstyIoModel {
+ public:
+  explicit DiurnalWebModel(const DiurnalWebConfig& config);
+
+  // The modulated ON-phase arrival rate in effect at `now` (floored at
+  // 1 req/s so sampled gaps stay finite). Exposed for tests.
+  double RateAt(TimeNs now) const;
+
+ protected:
+  void ScheduleNextArrival(TimeNs now) override;
+
+ private:
+  DiurnalWebConfig dconfig_;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_WORKLOAD_DIURNAL_WEB_H_

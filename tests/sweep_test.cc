@@ -162,12 +162,12 @@ TEST(SweepEngineTest, SeedSaltChangesStreams) {
 
 TEST(SweepEngineTest, RegisteredSweepsCoverTheFigures) {
   const SweepRegistry& registry = SweepRegistry::Instance();
-  EXPECT_GE(registry.size(), 14u);
+  EXPECT_GE(registry.size(), 15u);
   for (const char* name :
        {"fig2_calibration", "fig4_vtrs_traces", "fig5_validation", "fig6_effectiveness",
         "fig7_customization", "fig8_comparison", "table3_recognition",
         "table3x_recognition", "table5_clusters", "ablation", "overhead",
-        "fleet_hotspot", "fleet_consolidation", "fleet_drain"}) {
+        "fleet_hotspot", "fleet_consolidation", "fleet_drain", "trace_replay"}) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }
   EXPECT_EQ(registry.Find("nonexistent"), nullptr);
@@ -277,6 +277,14 @@ TEST(GoldenTest, FleetConsolidationQuickMatchesCommittedGolden) {
 
 TEST(GoldenTest, FleetDrainQuickMatchesCommittedGolden) {
   ExpectMatchesGolden("fleet_drain");
+}
+
+// Trace-driven cells are byte-identical across --jobs, --shard and
+// --island-threads by construction (replay consumes no RNG, see
+// src/workload/trace_replay.h); the golden plus the islands rerun pin that.
+TEST(GoldenTest, TraceReplayQuickMatchesCommittedGolden) {
+  ExpectMatchesGolden("trace_replay");
+  ExpectMatchesGolden("trace_replay", /*island_threads=*/8);
 }
 
 // Parallel islands reproduce the same committed goldens — the bytes were
