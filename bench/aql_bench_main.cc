@@ -16,6 +16,13 @@
 //                    contract in docs/ARCHITECTURE.md), so goldens, caches
 //                    and --stable-json comparisons never depend on it.
 //                    Single-machine cells are unaffected.
+//   --socket-threads N
+//                    worker threads advancing socket islands INSIDE a
+//                    multi-socket single-machine cell (default 1 =
+//                    sequential). Same contract as --island-threads:
+//                    byte-identical output for every N, clamped to the
+//                    machine's socket count; single-socket machines and
+//                    fleet cells are unaffected.
 //   --quick          scaled-down simulated durations (CI smoke)
 //   --out DIR        output directory for BENCH_<name>.json (default ".")
 //   --stable-json    omit wall-clock timing from JSON (byte-comparable runs)
@@ -74,7 +81,8 @@ namespace {
 void Usage(FILE* out) {
   std::fprintf(out,
                "usage: aql_bench (--list | --all | --run <name>...) "
-               "[--jobs N] [--island-threads N] [--quick] [--out DIR] "
+               "[--jobs N] [--island-threads N] [--socket-threads N] "
+               "[--quick] [--out DIR] "
                "[--stable-json] [--no-json] "
                "[--profile] [--shard K/N] [--cell ID] [--cache-dir DIR]\n"
                "       aql_bench merge [--out DIR] [--timing] <fragment.json>...\n"
@@ -271,6 +279,12 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "aql_bench: --island-threads must be >= 1\n");
         return 2;
       }
+    } else if (arg == "--socket-threads") {
+      options.socket_threads = std::atoi(value());
+      if (options.socket_threads < 1) {
+        std::fprintf(stderr, "aql_bench: --socket-threads must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--quick") {
       options.quick = true;
     } else if (arg == "--profile") {
@@ -333,9 +347,9 @@ int Main(int argc, char** argv) {
   if (!options.only_cell.empty()) {
     // A single cell is a single unit of cell-pool work: clamp --jobs (which
     // defaults to hardware concurrency) so the header, the timed JSON and
-    // the engine all agree the run is inline. --island-threads is then the
-    // only parallelism in play — exactly what a --cell island benchmark
-    // wants to measure.
+    // the engine all agree the run is inline. --island-threads /
+    // --socket-threads are then the only parallelism in play — exactly what
+    // a --cell island benchmark wants to measure.
     options.jobs = 1;
   }
   if (sharded && !write_json) {
@@ -358,10 +372,17 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "aql_bench: unknown sweep: %s (try --list)\n", name.c_str());
       return 2;
     }
-    char islands[32] = "";
-    if (options.island_threads > 1) {
+    char islands[64] = "";
+    if (options.island_threads > 1 && options.socket_threads > 1) {
+      std::snprintf(islands, sizeof(islands),
+                    ", island-threads=%d, socket-threads=%d",
+                    options.island_threads, options.socket_threads);
+    } else if (options.island_threads > 1) {
       std::snprintf(islands, sizeof(islands), ", island-threads=%d",
                     options.island_threads);
+    } else if (options.socket_threads > 1) {
+      std::snprintf(islands, sizeof(islands), ", socket-threads=%d",
+                    options.socket_threads);
     }
     if (sharded) {
       std::printf("=== %s (%s, shard %d/%d, jobs=%d%s) ===\n", name.c_str(),

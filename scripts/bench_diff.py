@@ -27,12 +27,13 @@ Wall-time focus (--walls): in diff mode, prints a per-sweep wall-time table
 to demonstrate engine speedups against a committed BENCH_baseline capture.
 In trajectory mode, adds the per-cell wall series to the per-sweep output.
 
-Island-thread runs: a document produced with --island-threads N > 1 is
-keyed (and labeled in every table) as 'name@islN', so sequential and
-parallel captures of the same sweep coexist in one artifact directory.
---walls matches a '@islN' run against its sequential baseline when no
+Parallel runs: a document produced with --island-threads N > 1 is keyed
+(and labeled in every table) as 'name@islN', and one produced with
+--socket-threads N > 1 as 'name@sockN', so sequential and parallel
+captures of the same sweep coexist in one artifact directory. --walls
+matches a '@islN'/'@sockN' run against its sequential baseline when no
 same-threaded baseline exists — the row that turns CI's sequential-vs-
-parallel fleet probe into a speedup number.
+parallel probes (fleet islands, socket islands) into speedup numbers.
 
 Usage: scripts/bench_diff.py [--wall-drift-pct P] [--walls] OLD_DIR NEW_DIR
        scripts/bench_diff.py --trajectory HISTORY_DIR [--walls]
@@ -69,20 +70,23 @@ def load_benches(path):
         with open(f, encoding="utf-8") as fh:
             doc = json.load(fh)
         name = doc.get("bench", os.path.basename(f))
-        # Label parallel-islands captures so they never collide with (or
-        # silently compare against) the sequential capture of the same
-        # sweep. Stable JSON omits execution options, so only timing
-        # documents ever carry the suffix.
+        # Label parallel captures (host islands and socket islands) so they
+        # never collide with (or silently compare against) the sequential
+        # capture of the same sweep. Stable JSON omits execution options, so
+        # only timing documents ever carry a suffix.
         islands = doc.get("options", {}).get("island_threads", 1)
         if isinstance(islands, int) and islands > 1:
             name = f"{name}@isl{islands}"
+        sockets = doc.get("options", {}).get("socket_threads", 1)
+        if isinstance(sockets, int) and sockets > 1:
+            name = f"{name}@sock{sockets}"
         out[name] = doc
     return out
 
 
 def base_name(name):
-    """Sweep name with any '@islN' island-thread label stripped."""
-    return name.split("@isl", 1)[0]
+    """Sweep name with any '@islN'/'@sockN' thread-count label stripped."""
+    return name.split("@isl", 1)[0].split("@sock", 1)[0]
 
 
 def walls_baseline(old_benches, name):
@@ -312,12 +316,12 @@ def main():
     breakages, warnings = [], []
     for name in sorted(old_benches):
         if name not in new_benches:
-            # An island-thread variant of the same sweep is a re-labeling,
+            # A thread-count variant of the same sweep is a re-labeling,
             # not a disappearance (e.g. diffing a sequential capture against
-            # a --island-threads one of the same cells).
+            # an --island-threads or --socket-threads one of the same cells).
             if any(base_name(k) == base_name(name) for k in new_benches):
                 print(f"info: sweep '{name}' present only at a different "
-                      f"island-thread count in the candidate run")
+                      f"thread count in the candidate run")
                 continue
             breakages.append(f"sweep '{name}' disappeared from the artifacts")
             continue

@@ -4,7 +4,7 @@
 #include <map>
 #include <utility>
 
-#include "src/fleet/island_pool.h"
+#include "src/sim/work_pool.h"
 #include "src/sim/check.h"
 #include "src/sim/rng.h"
 #include "src/workload/catalog.h"
@@ -507,10 +507,18 @@ FleetResult FleetRun::Run() {
   // stats), so the pool may hand islands to worker threads in any order and
   // still produce the sequential loop's exact bytes. With island_threads <=
   // 1 (or one host) the pool spawns nothing and this IS the sequential
-  // loop, island index order included. Everything below the barrier —
+  // loop, island index order included. Host Simulations never get a socket
+  // WorkPool of their own — the fleet owns the thread budget, so socket
+  // islands inside a host run inline. Everything below the barrier —
   // metric resets, drains, rebalances, migrations — runs on this
   // (coordinating) thread only.
-  IslandPool pool(std::min(spec_.island_threads, cfg_.hosts));
+  WorkPool pool(std::min(spec_.island_threads, cfg_.hosts));
+  if (spec_.profile != nullptr) {
+    // Coordinator wait at the fleet's island barriers (--profile's
+    // barrier_wait phase; hosts have no pool of their own, so this is the
+    // only barrier in a fleet run).
+    pool.set_wait_profile(&spec_.profile->barrier_wait_seconds);
+  }
   const auto advance_island = [this](TimeNs b) {
     return [this, b](size_t h) {
       HostState& host = hosts_[h];

@@ -11,7 +11,7 @@
 //    shared RNG. The fleet is therefore byte-identical at any --jobs.
 //  * Islands advance to each shared epoch boundary either in fixed index
 //    order on one thread (island_threads <= 1, the default) or concurrently
-//    on an IslandPool (island_threads > 1). Because island runs touch only
+//    on a WorkPool (island_threads > 1). Because island runs touch only
 //    host-local state, the two schedules produce identical bytes; every
 //    cross-island effect (drain/rebalance proposals, migrations, fleet
 //    bookkeeping) is applied on the coordinating thread between barriers,

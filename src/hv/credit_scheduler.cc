@@ -70,6 +70,12 @@ const std::string& CreditScheduler::PoolLabel(int pool) const {
   return pools_[static_cast<size_t>(pool)].label;
 }
 
+void CreditScheduler::SetSocketFilter(std::vector<int> socket_of_pcpu) {
+  AQL_CHECK(socket_of_pcpu.empty() ||
+            socket_of_pcpu.size() == static_cast<size_t>(num_pcpus()));
+  socket_of_ = std::move(socket_of_pcpu);
+}
+
 TimeNs CreditScheduler::QuantumFor(int pcpu, const Vcpu& v) const {
   const TimeNs pool_q = PoolQuantum(PoolOf(pcpu));
   if (v.quantum_override > 0) {
@@ -100,7 +106,7 @@ Vcpu* CreditScheduler::PickNext(int pcpu) {
   Priority best_prio = Priority::kOver;
   size_t best_size = 0;
   for (int peer : PoolPcpus(pool)) {
-    if (peer == pcpu) {
+    if (peer == pcpu || !SameIsland(peer, pcpu)) {
       continue;
     }
     RunQueue& q = queue(peer);
@@ -141,26 +147,36 @@ int CreditScheduler::ChooseWakePcpu(const Vcpu& v, const std::vector<bool>& idle
   AQL_CHECK(pool >= 0 && pool < NumPools());
   const std::vector<int>& pcpus = pools_[static_cast<size_t>(pool)].pcpus;
   AQL_CHECK(!pcpus.empty());
+  // With a socket filter, only pool members on the home socket are
+  // candidates (the home itself always qualifies, so one always exists).
+  AQL_CHECK(socket_of_.empty() || v.home_pcpu >= 0);
   // Home first if idle, then any idle pool member.
   if (v.home_pcpu >= 0 && PoolOf(v.home_pcpu) == pool &&
       idle[static_cast<size_t>(v.home_pcpu)]) {
     return v.home_pcpu;
   }
   for (int pc : pcpus) {
+    if (!socket_of_.empty() && !SameIsland(pc, v.home_pcpu)) {
+      continue;
+    }
     if (idle[static_cast<size_t>(pc)]) {
       return pc;
     }
   }
   // No idle pCPU: shortest queue; home wins ties.
-  int best = pcpus.front();
-  size_t best_len = queue(best).Size();
+  int best = -1;
+  size_t best_len = 0;
   for (int pc : pcpus) {
+    if (!socket_of_.empty() && !SameIsland(pc, v.home_pcpu)) {
+      continue;
+    }
     const size_t len = queue(pc).Size();
-    if (len < best_len || (len == best_len && pc == v.home_pcpu)) {
+    if (best == -1 || len < best_len || (len == best_len && pc == v.home_pcpu)) {
       best = pc;
       best_len = len;
     }
   }
+  AQL_CHECK(best != -1);
   return best;
 }
 

@@ -63,6 +63,15 @@ class CreditScheduler {
   // the vCPU carries a smaller per-vCPU override (vSlicer-style).
   TimeNs QuantumFor(int pcpu, const Vcpu& v) const;
 
+  // Restricts work placement to socket-local pCPUs: with a filter installed
+  // (`socket_of_pcpu[p]` = socket of pCPU p; empty disables), PickNext only
+  // steals from same-socket pool peers and ChooseWakePcpu only considers
+  // pool members on the waker's home socket. This is the load-balancing half
+  // of the socket-island determinism contract: a vCPU never leaves its home
+  // socket except through an explicit re-homing (ApplyPoolPlan), which the
+  // coordinator applies at a barrier. Credit accounting stays pool-wide.
+  void SetSocketFilter(std::vector<int> socket_of_pcpu);
+
   // --- run queues ---
 
   void Enqueue(Vcpu* v, int pcpu, bool front = false);
@@ -97,9 +106,16 @@ class CreditScheduler {
     TimeNs quantum;
   };
 
+  // True when pCPUs a and b may exchange work (no filter, or same socket).
+  bool SameIsland(int a, int b) const {
+    return socket_of_.empty() ||
+           socket_of_[static_cast<size_t>(a)] == socket_of_[static_cast<size_t>(b)];
+  }
+
   CreditParams params_;
   std::vector<RunQueue> queues_;   // one per pCPU
   std::vector<int> pcpu_pool_;     // pCPU -> pool index
+  std::vector<int> socket_of_;     // pCPU -> socket; empty = no filter
   std::vector<PoolState> pools_;
 };
 

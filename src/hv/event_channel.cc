@@ -1,15 +1,34 @@
 #include "src/hv/event_channel.h"
 
+#include "src/sim/check.h"
+
 namespace aql {
 
+void EventChannel::Resize(int vcpus) {
+  AQL_CHECK(vcpus >= 0);
+  if (static_cast<size_t>(vcpus) > counts_.size()) {
+    counts_.resize(static_cast<size_t>(vcpus), 0);
+  }
+}
+
 uint64_t EventChannel::Notify(int vcpu) {
-  ++total_;
-  return ++counts_[vcpu];
+  AQL_CHECK(vcpu >= 0 && static_cast<size_t>(vcpu) < counts_.size());
+  return ++counts_[static_cast<size_t>(vcpu)];
 }
 
 uint64_t EventChannel::Count(int vcpu) const {
-  auto it = counts_.find(vcpu);
-  return it == counts_.end() ? 0 : it->second;
+  if (vcpu < 0 || static_cast<size_t>(vcpu) >= counts_.size()) {
+    return 0;
+  }
+  return counts_[static_cast<size_t>(vcpu)];
+}
+
+uint64_t EventChannel::TotalNotifications() const {
+  uint64_t total = 0;
+  for (const uint64_t c : counts_) {
+    total += c;
+  }
+  return total;
 }
 
 }  // namespace aql

@@ -4,26 +4,35 @@
 // the hypervisor; the paper's IOInt monitoring counts these per vCPU. Here
 // the channel routes notifications to the Machine (wake + BOOST eligibility)
 // and maintains the per-vCPU counters vTRS reads.
+//
+// Counters live in a flat per-vCPU table sized once (Resize) before any
+// notification: under socket-island parallelism each island increments only
+// its own vCPUs' slots, so there is no shared aggregate and no rehashing —
+// notification is island-confined by construction. Totals are summed on
+// demand, coordinator-side.
 
 #ifndef AQLSCHED_SRC_HV_EVENT_CHANNEL_H_
 #define AQLSCHED_SRC_HV_EVENT_CHANNEL_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 namespace aql {
 
 class EventChannel {
  public:
-  // Records one notification towards `vcpu`; returns the new total.
+  // Sizes the counter table for vCPU ids [0, vcpus). Existing counts are
+  // preserved; never shrinks.
+  void Resize(int vcpus);
+
+  // Records one notification towards `vcpu`; returns its new count.
   uint64_t Notify(int vcpu);
 
   uint64_t Count(int vcpu) const;
-  uint64_t TotalNotifications() const { return total_; }
+  uint64_t TotalNotifications() const;
 
  private:
-  std::unordered_map<int, uint64_t> counts_;
-  uint64_t total_ = 0;
+  std::vector<uint64_t> counts_;
 };
 
 }  // namespace aql

@@ -81,8 +81,15 @@ class Vcpu {
   // it toward its residual (Machine::SetRemoteAccessScale).
   double remote_access_scale = 1.0;
 
-  // Pending self-wake timer event (kBlock with finite wake_at).
+  // pCPU currently executing this vCPU (-1 when not running). Maintained by
+  // the Machine dispatch path; makes kicks O(1) and island-confined.
+  int running_pcpu = -1;
+
+  // Pending self-wake timer event (kBlock with finite wake_at) and its
+  // absolute deadline. The deadline is kept so a cross-socket re-homing can
+  // reschedule the event into the new socket's island domain.
   EventId wake_event = kInvalidEventId;
+  TimeNs wake_at = 0;
 
   // --- run-queue linkage (owned by RunQueue) ---
   // Intrusive list pointers: a runnable vCPU sits on exactly one queue, so

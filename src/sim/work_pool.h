@@ -1,0 +1,110 @@
+// Shared worker pool for deterministic parallel islands.
+//
+// One pool serves both island flavors: fleet host islands (src/fleet/fleet.cc
+// advances each host's Simulation between cluster epochs) and socket islands
+// inside a single Machine (src/sim/simulation.cc advances each socket's
+// event-queue domain between synchronization horizons). Island runs touch
+// only island-local state, so *any* assignment of islands to threads produces
+// the same bytes; the pool therefore hands out island indices through an
+// atomic counter (dynamic load balancing, no deterministic schedule needed)
+// and the coordinating thread participates as a worker.
+//
+// Synchronization protocol (ThreadSanitizer-checked by
+// tests/fleet_parallel_test.cc, tests/machine_parallel_test.cc and the CI
+// TSan job):
+//  * Run() publishes (task, n, busy, cursor) under the mutex and then bumps
+//    the epoch with a release store; workers observe the bump either by an
+//    acquire spin-read (hot path) or under the mutex (after the spin budget
+//    expires), so the task publication happens-before every claim.
+//  * Island indices are claimed via fetch_add on an atomic cursor: each
+//    index is executed by exactly one thread per epoch.
+//  * Workers check out by an acq_rel decrement of the busy counter; Run()
+//    returns only once it reads zero (acquire), so all island writes
+//    happen-before the coordinator's cross-island merge phase.
+//
+// Latency: socket-island phases are short (tens of microseconds) and come at
+// the simulation's horizon cadence, so a futex sleep/wake per phase would
+// rival the work itself. Workers and the coordinator therefore spin briefly
+// (with a CPU pause) before sleeping on the condition variables; in steady
+// state a phase round-trip costs no syscalls. The spin budget is small
+// enough that an idle pool (between run sections) parks in the kernel.
+//
+// Thread budget: the two island levers never multiply. Fleet runs own the
+// pool for host islands and force their hosts' socket islands inline
+// (src/fleet/fleet.cc); single-machine runs own the pool for socket islands.
+// Either way one pool exists per run, sized min(requested, islands).
+//
+// The pool is scoped to one run: threads start in the constructor and join
+// in the destructor.
+
+#ifndef AQLSCHED_SRC_SIM_WORK_POOL_H_
+#define AQLSCHED_SRC_SIM_WORK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aql {
+
+class WorkPool {
+ public:
+  // Spawns `threads - 1` workers (the calling thread is the last worker).
+  // `threads <= 1` spawns nothing; Run() then executes inline.
+  explicit WorkPool(int threads);
+  ~WorkPool();
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  // Executes task(i) for every i in [0, n) across the pool, including the
+  // calling thread, and returns when all n calls have finished. Must only
+  // be called from the thread that constructed the pool, one epoch at a
+  // time. `task` must not touch state shared across indices.
+  void Run(size_t n, const std::function<void(size_t)>& task);
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Attaches (nullptr detaches) a barrier-wait sink: Run() adds the wall
+  // time the coordinator spends blocked waiting for straggler workers after
+  // finishing its own share — the parallel-efficiency loss --profile reports
+  // as barrier_wait. Written by the coordinating thread only, after all
+  // workers checked in, so reads between Run() calls are race-free.
+  void set_wait_profile(double* sink) { wait_profile_ = sink; }
+
+ private:
+  void WorkerLoop();
+  // Claims indices from the cursor until the current epoch is drained.
+  void Drain();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  // Epoch counter: bumped (release, under mu_) by Run() to publish a new
+  // batch; spin-read (acquire) by workers.
+  std::atomic<uint64_t> epoch_{0};
+  // Workers still draining the current epoch; zero (acquire-read) is the
+  // barrier the coordinator waits on.
+  std::atomic<size_t> busy_{0};
+  std::atomic<bool> stop_{false};
+  // Published under mu_ before the epoch bump; read by workers only after
+  // observing the bump.
+  size_t n_ = 0;
+  const std::function<void(size_t)>* task_ = nullptr;
+  // Claimed outside the mutex; reset before each epoch's bump.
+  std::atomic<size_t> cursor_{0};
+  // Spin budget in pause iterations. Zero when the hardware cannot host all
+  // pool threads at once (a spinning waiter would then steal the timeslice
+  // the working thread needs); such hosts fall straight through to the
+  // condition variables. Does not affect bytes, only latency.
+  int spin_iters_ = 0;
+  double* wait_profile_ = nullptr;
+};
+
+}  // namespace aql
+
+#endif  // AQLSCHED_SRC_SIM_WORK_POOL_H_

@@ -32,7 +32,7 @@ void BurstyIoModel::OnAttach(WorkloadHost* host, int vcpu) {
 
 void BurstyIoModel::ScheduleNextArrival(TimeNs now) {
   const TimeNs mean = static_cast<TimeNs>(1e9 / config_.on_arrival_rate_hz);
-  ScheduleArrivalIn(now, host_->WorkloadRng().ExponentialNs(mean));
+  ScheduleArrivalIn(now, host_->WorkloadRng(vcpu_).ExponentialNs(mean));
 }
 
 void BurstyIoModel::ScheduleArrivalIn(TimeNs now, TimeNs gap) {

@@ -50,7 +50,7 @@ double DiurnalWebModel::RateAt(TimeNs now) const {
 
 void DiurnalWebModel::ScheduleNextArrival(TimeNs now) {
   const TimeNs mean = static_cast<TimeNs>(1e9 / RateAt(now));
-  ScheduleArrivalIn(now, host_->WorkloadRng().ExponentialNs(mean));
+  ScheduleArrivalIn(now, host_->WorkloadRng(vcpu_).ExponentialNs(mean));
 }
 
 }  // namespace aql

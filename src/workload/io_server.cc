@@ -22,7 +22,7 @@ void IoServerModel::OnAttach(WorkloadHost* host, int vcpu) {
 
 void IoServerModel::ScheduleNextArrival(TimeNs now) {
   const TimeNs mean = static_cast<TimeNs>(1e9 / config_.arrival_rate_hz);
-  const TimeNs gap = host_->WorkloadRng().ExponentialNs(mean);
+  const TimeNs gap = host_->WorkloadRng(vcpu_).ExponentialNs(mean);
   host_->ScheduleTimer(now + gap, vcpu_, kArrivalTimer);
 }
 

@@ -22,12 +22,12 @@ SpinSyncModel::SpinSyncModel(const SpinSyncConfig& config, std::shared_ptr<SpinL
 void SpinSyncModel::OnAttach(WorkloadHost* host, int vcpu) {
   WorkloadModel::OnAttach(host, vcpu);
   // Random initial offset so the VM's threads do not run in lockstep.
-  remaining_ = 1 + static_cast<TimeNs>(host->WorkloadRng().NextDouble() *
+  remaining_ = 1 + static_cast<TimeNs>(host->WorkloadRng(vcpu).NextDouble() *
                                        static_cast<double>(config_.compute));
 }
 
 TimeNs SpinSyncModel::SampleComputeLength() {
-  const double jitter = host_->WorkloadRng().Uniform(0.8, 1.2);
+  const double jitter = host_->WorkloadRng(vcpu_).Uniform(0.8, 1.2);
   return std::max<TimeNs>(1, static_cast<TimeNs>(static_cast<double>(config_.compute) * jitter));
 }
 

@@ -87,8 +87,11 @@ class WorkloadHost {
 
   virtual TimeNs Now() const = 0;
 
-  // Per-model deterministic random stream.
-  virtual Rng& WorkloadRng() = 0;
+  // Deterministic random stream for the model attached to `vcpu`. The
+  // stream's scope is per VM (vCPUs of one VM share it): that is what a
+  // guest OS's entropy looks like, and it keeps the stream island-local
+  // under socket parallelism — a VM's vCPUs always share an island.
+  virtual Rng& WorkloadRng(int vcpu) = 0;
 
   // Schedules `OnTimer(tag)` on the model attached to `vcpu` at time `when`.
   // Timers fire regardless of the vCPU's scheduling state (they model

@@ -13,7 +13,7 @@ namespace {
 class FakeHost : public WorkloadHost {
  public:
   TimeNs Now() const override { return now; }
-  Rng& WorkloadRng() override { return rng; }
+  Rng& WorkloadRng(int) override { return rng; }
   void ScheduleTimer(TimeNs when, int vcpu, int tag) override {
     timers.push_back({when, vcpu, tag});
   }

@@ -1,0 +1,220 @@
+// Differential proof of the socket-island determinism contract
+// (src/hv/machine.h, docs/ARCHITECTURE.md "Determinism contract for
+// parallel islands"): a multi-socket machine cell's output is
+// byte-identical at every --socket-threads setting, and single-socket
+// machines are untouched by the knob entirely.
+//
+// Mirrors tests/fleet_parallel_test.cc one level down the stack — the
+// fleet test proves host islands, this one proves socket islands inside a
+// single Machine. Three layers of evidence:
+//
+//  1. The committed multi-socket sweeps: every quick cell of
+//     fig6_effectiveness / fig6x_numa / fig7_customization /
+//     table3x_recognition rendered to --stable-json at socket-thread
+//     counts 1, 2 and 8, byte-compared. (Timing-enabled JSON records
+//     options.socket_threads and wall clocks, so it is inherently
+//     run-dependent; stable JSON is exactly the projection the contract
+//     covers and what CI's `cmp` probes compare.)
+//
+//  2. A randomized stress sweep: generated multi-socket machine specs
+//     (random socket counts, cores per socket, VM mixes spanning LLC
+//     trashers, cache-friendly apps, I/O-bound apps and spinlock-heavy
+//     apps, under both Xen credit and AQL policies so pool re-planning and
+//     cross-socket re-homing fire) each run sequentially and with a random
+//     socket-thread count, asserting the full ScenarioResult matches
+//     field-for-field with zero tolerance.
+//
+//  3. Degenerate settings: thread counts < 1 and far above the socket
+//     count clamp to safe values, and a single-socket machine never
+//     attaches a pool (the runner gates on topology.sockets > 1), so its
+//     bytes cannot depend on the knob.
+//
+// The same binary runs under ThreadSanitizer in CI (-DAQL_SANITIZE=thread),
+// so the pool's epoch-barrier protocol — including the spin-then-sleep
+// fast path — is checked for happens-before violations on the same
+// workloads that check it for value divergence.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/experiment/registry.h"
+#include "src/experiment/runner.h"
+#include "src/experiment/scenarios.h"
+
+namespace aql {
+namespace {
+
+std::string StableJsonFor(const std::string& sweep, int socket_threads) {
+  const SweepSpec* spec = SweepRegistry::Instance().Find(sweep);
+  EXPECT_NE(spec, nullptr) << sweep;
+  SweepOptions options;
+  options.quick = true;
+  options.jobs = 1;
+  options.socket_threads = socket_threads;
+  return SweepJson(RunSweep(*spec, options), /*include_timing=*/false).Dump();
+}
+
+// Every registered multi-socket sweep's quick cells, byte-compared across
+// socket-thread counts spanning "no pool", "pool smaller than the machine"
+// and "pool larger than every machine" (the widest topology has 3 usable
+// sockets, so 8 threads also covers the min(threads, sockets) clamp).
+TEST(MachineParallel, SweepStableJsonIsByteIdenticalAcrossSocketThreads) {
+  for (const char* sweep : {"fig6_effectiveness", "fig6x_numa",
+                            "fig7_customization", "table3x_recognition"}) {
+    const std::string sequential = StableJsonFor(sweep, 1);
+    EXPECT_EQ(sequential, StableJsonFor(sweep, 2)) << sweep << " @2 threads";
+    EXPECT_EQ(sequential, StableJsonFor(sweep, 8)) << sweep << " @8 threads";
+  }
+}
+
+// Field-for-field comparison of two ScenarioResults. EXPECT_EQ on doubles
+// is deliberate: the contract is bitwise identity, not tolerance.
+void ExpectSameResult(const ScenarioResult& seq, const ScenarioResult& par,
+                      const std::string& label) {
+  ASSERT_EQ(seq.groups.size(), par.groups.size()) << label;
+  for (size_t g = 0; g < seq.groups.size(); ++g) {
+    const GroupPerf& a = seq.groups[g];
+    const GroupPerf& b = par.groups[g];
+    EXPECT_EQ(a.name, b.name) << label;
+    EXPECT_EQ(a.vcpus, b.vcpus) << label << " " << a.name;
+    EXPECT_EQ(a.primary, b.primary) << label << " " << a.name;
+    EXPECT_EQ(a.metrics, b.metrics) << label << " " << a.name;
+  }
+  EXPECT_EQ(seq.measure_window, par.measure_window) << label;
+  EXPECT_EQ(seq.cpu_utilization, par.cpu_utilization) << label;
+  EXPECT_EQ(seq.controller_overhead, par.controller_overhead) << label;
+  EXPECT_EQ(seq.events_processed, par.events_processed) << label;
+}
+
+ScenarioResult RunWithThreads(const ScenarioSpec& spec, const PolicySpec& policy,
+                              int socket_threads) {
+  RunOptions options;
+  options.socket_threads = socket_threads;
+  return RunScenario(spec, policy, options);
+}
+
+// Randomized stress. Generates small-but-gnarly multi-socket machines —
+// 2-4 sockets, uneven VM-to-socket packing, LLC trashers next to
+// cache-friendly and I/O apps, AQL's monitor loop re-planning pools (the
+// cross-socket re-homing path: timer re-domaining, LLC footprint flushes,
+// island merges) — and proves sequential == parallel on each. The
+// generator is seeded, so a failure reproduces.
+TEST(MachineParallelStress, RandomMachinesMatchSequentialExactly) {
+  // Mix chosen so detection, placement and cross-socket migration all have
+  // something to react to: trashers, friendly apps, I/O wakeups (event
+  // channels + timers) and pause-loop spinners (kick/preempt traffic).
+  const std::vector<std::string> apps = {"libquantum", "bzip2",  "hmmer",
+                                         "mcf",        "pure_io", "kernbench"};
+
+  std::mt19937_64 gen(0x50c4e7157ULL);
+  const auto pick = [&gen](int lo, int hi) {
+    return lo + static_cast<int>(gen() % static_cast<uint64_t>(hi - lo + 1));
+  };
+
+  int straddle_candidates = 0;
+  const int kSpecs = 30;
+  for (int i = 0; i < kSpecs; ++i) {
+    ScenarioSpec spec;
+    spec.name = "sock_stress" + std::to_string(i);
+    spec.machine = pick(0, 1) == 1 ? MultiSocketMachine(/*seed=*/gen())
+                                   : DualSocketNumaMachine(/*seed=*/gen());
+    spec.machine.topology.sockets = pick(2, 4);
+    spec.machine.topology.cores_per_socket = pick(2, 4);
+
+    // Oversubscribe so the scheduler actually time-slices: up to ~3 vCPUs
+    // per pCPU across a random VM population.
+    const int pcpus = spec.machine.topology.TotalPcpus();
+    int budget = pick(pcpus, pcpus * 3);
+    while (budget > 0) {
+      VmSpec vm;
+      vm.app = apps[gen() % apps.size()];
+      vm.vcpus = pick(1, budget < 4 ? budget : 4);
+      budget -= vm.vcpus;
+      spec.vms.push_back(vm);
+      if (vm.vcpus > spec.machine.topology.cores_per_socket) {
+        // More vCPUs than one socket has pCPUs: a pool plan can make this
+        // VM straddle sockets, forcing island merges.
+        ++straddle_candidates;
+      }
+    }
+    spec.warmup = Ms(pick(2, 4) * 25);    // 50-100 ms
+    spec.measure = Ms(pick(8, 14) * 25);  // 200-350 ms
+
+    const PolicySpec policy = pick(0, 1) == 1 ? PolicySpec::Aql() : PolicySpec::Xen();
+
+    const ScenarioResult seq = RunWithThreads(spec, policy, 1);
+    const int threads = pick(2, 8);
+    const ScenarioResult par = RunWithThreads(spec, policy, threads);
+    ExpectSameResult(seq, par,
+                     spec.name + " (" + policy.Label() + ", sockets=" +
+                         std::to_string(spec.machine.topology.sockets) +
+                         ", socket-threads=" + std::to_string(threads) + ")");
+  }
+
+  // The generator must exercise the island-merge path the contract is
+  // about — a stress sweep where no VM can ever straddle sockets would
+  // prove much less than it claims.
+  EXPECT_GT(straddle_candidates, 5);
+}
+
+// The runner clamps the pool to the socket count and treats values < 1 as
+// "one", so degenerate settings run the plain sequential engine. (The CLI
+// additionally rejects --socket-threads < 1 up front; this covers the
+// library-level contract for embedders driving RunOptions directly.)
+TEST(MachineParallel, DegenerateThreadCountsMatchSequential) {
+  ScenarioSpec spec = FourSocketScenario(/*seed=*/7);
+  spec.warmup = Ms(100);
+  spec.measure = Ms(300);
+
+  const ScenarioResult seq = RunWithThreads(spec, PolicySpec::Aql(), 1);
+  for (const int threads : {0, -3, 64}) {
+    ExpectSameResult(seq, RunWithThreads(spec, PolicySpec::Aql(), threads),
+                     "socket-threads=" + std::to_string(threads));
+  }
+}
+
+// Single-socket machines never attach a pool (the runner gates on
+// topology.sockets > 1) and run the legacy engine verbatim, so any thread
+// count yields the same bytes as sequential.
+TEST(MachineParallel, SingleSocketIgnoresSocketThreads) {
+  ScenarioSpec spec = ValidationRig("libquantum", /*seed=*/11);
+  spec.warmup = Ms(100);
+  spec.measure = Ms(300);
+  ASSERT_EQ(spec.machine.topology.sockets, 1);
+
+  const ScenarioResult seq = RunWithThreads(spec, PolicySpec::Xen(), 1);
+  for (const int threads : {4, 8}) {
+    ExpectSameResult(seq, RunWithThreads(spec, PolicySpec::Xen(), threads),
+                     "single-socket socket-threads=" + std::to_string(threads));
+  }
+}
+
+// --cell composes with socket threads: selecting one cell of a multi-socket
+// sweep under --socket-threads (the CI perf-probe invocation) produces the
+// same stable bytes as the same selection run sequentially, and the
+// jobs-vs-socket-threads combination holds (cells are a `jobs` unit; socket
+// threads live inside one cell).
+TEST(MachineParallel, CellSelectionComposesWithSocketThreads) {
+  const SweepSpec* spec = SweepRegistry::Instance().Find("fig6_effectiveness");
+  ASSERT_NE(spec, nullptr);
+
+  const auto run = [&](int socket_threads, int jobs) {
+    SweepOptions options;
+    options.quick = true;
+    options.jobs = jobs;
+    options.only_cell = "four_socket/xen";
+    options.socket_threads = socket_threads;
+    return SweepJson(RunSweep(*spec, options), /*include_timing=*/false).Dump();
+  };
+
+  const std::string sequential = run(1, 1);
+  EXPECT_EQ(sequential, run(4, 1));
+  EXPECT_EQ(sequential, run(8, 4));
+}
+
+}  // namespace
+}  // namespace aql

@@ -15,7 +15,7 @@ namespace {
 class FakeHost : public WorkloadHost {
  public:
   TimeNs Now() const override { return now; }
-  Rng& WorkloadRng() override { return rng; }
+  Rng& WorkloadRng(int) override { return rng; }
   void ScheduleTimer(TimeNs, int, int) override {}
   void NotifyIoEvent(int) override {}
   void KickVcpu(int vcpu) override { kicks.push_back(vcpu); }

@@ -232,18 +232,55 @@ TEST(SweepEngineTest, ProfileNeverEntersStableJson) {
   EXPECT_NE(timed.find("\"render_seconds\""), std::string::npos);
 }
 
+TEST(SweepEngineTest, BarrierWaitNeverEntersStableJson) {
+  // barrier_wait is the coordinator's wall time blocked at socket-island
+  // barriers — a host-clock measurement like the rest of --profile, so it
+  // must ride with the timing fields only. Profiled at --socket-threads 4
+  // on a multi-socket sweep (the only configuration that can produce a
+  // nonzero value), the stable JSON must stay byte-identical to the
+  // unprofiled sequential run.
+  const SweepSpec* spec = SweepRegistry::Instance().Find("fig6_effectiveness");
+  ASSERT_NE(spec, nullptr);
+  SweepOptions plain;
+  plain.quick = true;
+  plain.jobs = 1;
+  SweepOptions profiled = plain;
+  profiled.profile = true;
+  profiled.socket_threads = 4;
+
+  const SweepResult r_plain = RunSweep(*spec, plain);
+  const SweepResult r_profiled = RunSweep(*spec, profiled);
+
+  const std::string stable_plain = SweepJson(r_plain, /*include_timing=*/false).Dump();
+  const std::string stable_profiled =
+      SweepJson(r_profiled, /*include_timing=*/false).Dump();
+  EXPECT_EQ(stable_plain, stable_profiled);
+  // Note "barrier_wait_seconds", not "barrier_wait": the workloads emit a
+  // *simulated* barrier_wait_ms metric (ConSpin guests stalled at barriers),
+  // which is deterministic and belongs in stable JSON. Only the host-clock
+  // profile phase is banned.
+  EXPECT_EQ(stable_profiled.find("barrier_wait_seconds"), std::string::npos);
+  EXPECT_EQ(stable_profiled.find("socket_threads"), std::string::npos);
+
+  const std::string timed = SweepJson(r_profiled, /*include_timing=*/true).Dump();
+  EXPECT_NE(timed.find("\"barrier_wait_seconds\""), std::string::npos);
+  EXPECT_NE(timed.find("\"socket_threads\""), std::string::npos);
+}
+
 #ifdef AQL_GOLDEN_DIR
 // Byte-compares a quick-mode --stable-json run of `sweep` against the golden
 // captured from main before the engine overhaul (tests/goldens/README.md).
 // CI's bench-merge job covers all registered sweeps the same way; here we
 // pin two cheap representative ones into every ctest run.
-void ExpectMatchesGolden(const char* sweep, int island_threads = 1) {
+void ExpectMatchesGolden(const char* sweep, int island_threads = 1,
+                         int socket_threads = 1) {
   const SweepSpec* spec = SweepRegistry::Instance().Find(sweep);
   ASSERT_NE(spec, nullptr) << sweep;
   SweepOptions options;
   options.quick = true;
   options.jobs = 1;
   options.island_threads = island_threads;
+  options.socket_threads = socket_threads;
   const SweepResult result = RunSweep(*spec, options);
   const std::string path =
       std::string(AQL_GOLDEN_DIR) + "/quick/BENCH_" + sweep + ".json";
@@ -294,6 +331,17 @@ TEST(GoldenTest, TraceReplayQuickMatchesCommittedGolden) {
 TEST(GoldenTest, FleetGoldensReproduceWithParallelIslands) {
   for (const char* sweep : {"fleet_hotspot", "fleet_consolidation", "fleet_drain"}) {
     ExpectMatchesGolden(sweep, /*island_threads=*/4);
+  }
+}
+
+// Same pin one level down: the multi-socket goldens (re-baselined once for
+// the socket-island engine, tests/goldens/README.md) reproduce with socket
+// islands running on worker threads — --socket-threads is execution-only,
+// so no re-baselining is ever allowed for a thread-count change (see
+// tests/machine_parallel_test.cc for the full differential sweep).
+TEST(GoldenTest, MultiSocketGoldensReproduceWithSocketIslands) {
+  for (const char* sweep : {"fig6_effectiveness", "fig6x_numa"}) {
+    ExpectMatchesGolden(sweep, /*island_threads=*/1, /*socket_threads=*/4);
   }
 }
 #endif  // AQL_GOLDEN_DIR
