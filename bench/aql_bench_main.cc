@@ -366,6 +366,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
+  size_t failed_cells = 0;
   for (const std::string& name : names) {
     const SweepSpec* spec = SweepRegistry::Instance().Find(name);
     if (spec == nullptr) {
@@ -399,6 +400,14 @@ int Main(int argc, char** argv) {
     std::fputs(result.text.c_str(), stdout);
     std::printf("[%s] %zu cells in %.2fs wall\n", name.c_str(), result.cells.size(),
                 result.wall_seconds);
+    if (result.failed_cells > 0) {
+      // A failed cell is recorded (structured `error` entry in the JSON) and
+      // the remaining cells and sweeps still run; the non-zero exit below
+      // keeps CI from mistaking a partial document for a clean one.
+      std::fprintf(stderr, "[%s] %zu cell(s) FAILED (see per-cell error entries)\n",
+                   name.c_str(), result.failed_cells);
+      failed_cells += result.failed_cells;
+    }
 
     if (write_json) {
       if (sharded) {
@@ -416,6 +425,11 @@ int Main(int argc, char** argv) {
     }
     std::printf("\n");
     std::fflush(stdout);
+  }
+  if (failed_cells > 0) {
+    std::fprintf(stderr, "aql_bench: %zu cell(s) failed across %zu sweep(s)\n",
+                 failed_cells, names.size());
+    return 1;
   }
   return 0;
 }

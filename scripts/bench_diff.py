@@ -67,8 +67,17 @@ def load_benches(path):
         files = [path]
     out = {}
     for f in files:
-        with open(f, encoding="utf-8") as fh:
-            doc = json.load(fh)
+        # A corrupt or truncated capture (killed run, partial copy) must not
+        # take the whole diff down with it: warn, skip, diff the rest.
+        try:
+            with open(f, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as err:
+            annotate("warning", f"skipping unreadable bench file {f}: {err}")
+            continue
+        if not isinstance(doc, dict):
+            annotate("warning", f"skipping {f}: top-level JSON is not an object")
+            continue
         name = doc.get("bench", os.path.basename(f))
         # Label parallel captures (host islands and socket islands) so they
         # never collide with (or silently compare against) the sequential

@@ -120,6 +120,17 @@ ScenarioResult RunFleetScenario(const ScenarioSpec& spec, const PolicySpec& poli
     g.metrics["migration_bytes_out"] = static_cast<double>(hs.migration_bytes_out);
     g.metrics["migration_charge_ms"] = ToMs(hs.migration_charge);
     g.metrics["drained"] = hs.drained ? 1.0 : 0.0;
+    // Fault metrics exist only when the spec enables fault injection, so
+    // fault-free runs (and the committed fleet goldens) stay byte-identical.
+    if (spec.fleet.fault.Active()) {
+      g.metrics["crashes"] = static_cast<double>(hs.crashes);
+      g.metrics["degraded"] = hs.degraded ? 1.0 : 0.0;
+      g.metrics["restarts_in"] = static_cast<double>(hs.restarts_in);
+      g.metrics["migration_failures"] = static_cast<double>(hs.migration_failures);
+      g.metrics["aborted_bytes_in"] = static_cast<double>(hs.aborted_bytes_in);
+      g.metrics["aborted_bytes_out"] = static_cast<double>(hs.aborted_bytes_out);
+      g.metrics["fault_charge_ms"] = ToMs(hs.fault_charge);
+    }
     if (hs.drained) {
       ++drained_hosts;
     }
@@ -133,6 +144,20 @@ ScenarioResult RunFleetScenario(const ScenarioSpec& spec, const PolicySpec& poli
   fleet_group.metrics["migrations"] = static_cast<double>(fr.migrations);
   fleet_group.metrics["migration_bytes"] = static_cast<double>(fr.migration_bytes);
   fleet_group.metrics["migration_charge_ms"] = ToMs(fr.migration_charge);
+  if (spec.fleet.fault.Active()) {
+    fleet_group.metrics["crashes"] = static_cast<double>(fr.crashes);
+    fleet_group.metrics["vm_restarts"] = static_cast<double>(fr.vm_restarts);
+    fleet_group.metrics["downtime_ms"] = ToMs(fr.downtime_total);
+    fleet_group.metrics["availability"] = fr.availability;
+    fleet_group.metrics["migration_failures"] =
+        static_cast<double>(fr.migration_failures);
+    fleet_group.metrics["migration_retries"] = static_cast<double>(fr.migration_retries);
+    fleet_group.metrics["migrations_abandoned"] =
+        static_cast<double>(fr.migrations_abandoned);
+    fleet_group.metrics["aborted_bytes"] = static_cast<double>(fr.aborted_bytes);
+    fleet_group.metrics["fault_charge_ms"] = ToMs(fr.fault_charge);
+    fleet_group.metrics["degraded_hosts"] = static_cast<double>(fr.degraded_hosts);
+  }
   result.groups.push_back(std::move(fleet_group));
 
   if (options.profile) {

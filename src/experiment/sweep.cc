@@ -6,11 +6,13 @@
 #include <fstream>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "src/experiment/cell_cache.h"
 #include "src/sim/check.h"
 #include "src/sim/rng.h"
+#include "src/workload/catalog.h"
 
 namespace aql {
 
@@ -92,6 +94,16 @@ void SweepContext::Timing(const std::string& key, double value) {
 namespace {
 
 CellResult RunCell(const SweepCell& cell, const SweepOptions& sweep_options) {
+  // Cell-level validation with a catchable error: a sweep whose build step
+  // emitted a bad scenario (e.g. an application name missing from the
+  // catalog) fails THIS cell — reported as a structured `error` entry while
+  // the remaining cells still run — instead of aborting the whole process
+  // the way the simulator's internal AQL_CHECK invariants do.
+  for (const VmSpec& vm : cell.scenario.vms) {
+    if (vm.app != kTraceAppName && !HasApp(vm.app)) {
+      throw std::runtime_error("unknown application: " + vm.app);
+    }
+  }
   CellResult out;
   out.cell = cell;
   RunOptions options;
@@ -198,6 +210,25 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
   }
 
   std::vector<CellResult> results(cells.size());
+  // Mid-sweep failure containment: a cell whose scenario build or run
+  // throws becomes a structured per-cell `error` entry (never cached, never
+  // rendered) and the remaining cells still run; aql_bench turns any failed
+  // cell into a non-zero exit after finishing every sweep. AQL_CHECK
+  // violations still abort — they are simulator invariants, not input
+  // errors.
+  const auto run_guarded = [&cells, &options, &results, &cache](size_t i) {
+    try {
+      results[i] = RunOrLoadCell(cells[i], options, cache.get());
+    } catch (const std::exception& e) {
+      results[i] = CellResult{};
+      results[i].cell = cells[i];
+      results[i].error = e.what();
+    } catch (...) {
+      results[i] = CellResult{};
+      results[i].cell = cells[i];
+      results[i].error = "unknown exception";
+    }
+  };
   // Single-cell runs (a --cell selection, or a sweep/shard that expanded to
   // one cell) execute inline: the worker pool would add thread setup around
   // a single unit of work, and --cell + --island-threads benchmarks must
@@ -207,17 +238,17 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
       std::min<size_t>(cells.size(), options.jobs < 1 ? 1 : options.jobs);
   if (jobs <= 1 || cells.size() <= 1) {
     for (size_t i = 0; i < cells.size(); ++i) {
-      results[i] = RunOrLoadCell(cells[i], options, cache.get());
+      run_guarded(i);
     }
   } else {
     std::atomic<size_t> next{0};
-    auto worker = [&options, &cells, &results, &next, &cache] {
+    auto worker = [&cells, &next, &run_guarded] {
       for (;;) {
         const size_t i = next.fetch_add(1);
         if (i >= cells.size()) {
           return;
         }
-        results[i] = RunOrLoadCell(cells[i], options, cache.get());
+        run_guarded(i);
       }
     };
     std::vector<std::thread> pool;
@@ -230,13 +261,25 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
     }
   }
 
+  size_t failed_cells = 0;
+  for (const CellResult& r : results) {
+    if (!r.error.empty()) {
+      ++failed_cells;
+    }
+  }
   SweepContext ctx(options, std::move(results));
   // A shard (or a --cell selection) holds an arbitrary subset of cells, so
   // the render step (which addresses cells by id across the whole sweep)
   // only runs over full expansions; MergeFragments re-renders over the
   // reassembled union of shards.
   double render_seconds = 0.0;
-  if (!sharded && !cell_selected && spec.render) {
+  if (failed_cells > 0) {
+    // Renderers address cells by id and expect complete results; with any
+    // cell failed, the render would be misleading at best. The per-cell
+    // error entries carry the diagnosis.
+    ctx.Print("render skipped: " + std::to_string(failed_cells) +
+              " cell(s) failed (see per-cell error entries)\n");
+  } else if (!sharded && !cell_selected && spec.render) {
     const auto render_start = std::chrono::steady_clock::now();
     spec.render(ctx);
     render_seconds =
@@ -257,6 +300,7 @@ SweepResult RunSweep(const SweepSpec& spec, const SweepOptions& options) {
   out.shard_index = sharded ? options.shard_index : 0;
   out.shard_count = sharded ? options.shard_count : 0;
   out.total_cells = total_cells;
+  out.failed_cells = failed_cells;
   if (options.profile) {
     // Completes the --profile phase picture: compute phases live in the
     // per-cell `profile` objects, the render step is sweep-level.
@@ -328,6 +372,27 @@ JsonValue ScenarioJson(const ScenarioSpec& spec) {
       }
       fleet.Set("declared_hosts", std::move(declared));
     }
+    if (spec.fleet.fault.Active()) {
+      // Fault-injecting fleets only: absent for fault-free fleets so their
+      // JSON (and the committed goldens) stays byte-identical. Entering the
+      // scenario JSON also puts the fault plan into the cell-cache
+      // fingerprint automatically.
+      const FleetFaultPlan& fp = spec.fleet.fault;
+      JsonValue fault = JsonValue::Object();
+      fault.Set("crash_rate_per_host_per_sec", fp.crash_rate_per_host_per_sec)
+          .Set("host_reboot_ms", ToMs(fp.host_reboot))
+          .Set("vm_restart_delay_ms", ToMs(fp.vm_restart_delay))
+          .Set("restart_charge_per_vcpu_ms", ToMs(fp.restart_charge_per_vcpu))
+          .Set("migration_failure_prob", fp.migration_failure_prob)
+          .Set("abort_fraction", fp.abort_fraction)
+          .Set("max_retries", fp.max_retries)
+          .Set("backoff", fp.backoff)
+          .Set("backoff_base_ms", ToMs(fp.backoff_base))
+          .Set("degrade_rate_per_host_per_sec", fp.degrade_rate_per_host_per_sec)
+          .Set("degraded_bw_scale", fp.degraded_bw_scale)
+          .Set("degraded_pcpu_drop", fp.degraded_pcpu_drop);
+      fleet.Set("fault", std::move(fault));
+    }
     s.Set("fleet", std::move(fleet));
   }
   return s;
@@ -349,6 +414,16 @@ JsonValue GroupJson(const GroupPerf& g) {
 }
 
 JsonValue CellJson(const CellResult& cell, bool include_timing) {
+  if (!cell.error.empty()) {
+    // Failed cell: identity plus the structured error, none of the measured
+    // fields (there was no measurement).
+    JsonValue out = JsonValue::Object();
+    out.Set("id", cell.cell.id)
+        .Set("scenario", ScenarioJson(cell.cell.scenario))
+        .Set("policy", cell.cell.policy.Label())
+        .Set("error", cell.error);
+    return out;
+  }
   const ScenarioResult& r = cell.result;
   JsonValue groups = JsonValue::Array();
   for (const GroupPerf& g : r.groups) {
@@ -465,6 +540,12 @@ JsonValue SweepJson(const SweepResult& result, bool include_timing) {
     cells.Push(CellJson(c, include_timing));
   }
   doc.Set("cells", std::move(cells));
+
+  // Present only when something failed: a clean document keeps its exact
+  // historical shape (committed goldens byte-compare whole files).
+  if (result.failed_cells > 0) {
+    doc.Set("failed_cells", static_cast<int64_t>(result.failed_cells));
+  }
 
   if (include_timing) {
     JsonValue timing = JsonValue::Object();

@@ -97,6 +97,11 @@ struct CellResult {
   SweepCell cell;
   ScenarioResult result;
   std::vector<CursorSet> cursor_trace;
+  // Non-empty when the cell's scenario build or run threw instead of
+  // completing: the engine records the failure here (structured `error`
+  // entry in JSON), finishes the remaining cells, and aql_bench exits
+  // non-zero. Failed cells are never cached or rendered.
+  std::string error;
 };
 
 // Render-time view over the finished cells plus output collection. Tables
@@ -165,6 +170,9 @@ struct SweepResult {
   int shard_index = 0;
   int shard_count = 0;
   size_t total_cells = 0;
+  // Cells whose run threw (CellResult::error). Non-zero makes aql_bench
+  // exit non-zero after finishing every remaining cell and sweep.
+  size_t failed_cells = 0;
 };
 
 // Expands `spec` into its full cell list (deterministic in `options`),

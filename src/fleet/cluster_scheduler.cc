@@ -73,9 +73,13 @@ int PickVm(const std::vector<FleetVmView>& vms, int host, Pred pred) {
 // Iterative greedy leveling shared by the aware policies: while the gap
 // between the most- and least-loaded hosts (by `load`, an integer host
 // score) is >= 2, propose moving the heaviest matching VM and re-score on
-// updated working copies. Proposals are capped; the fleet applies its own
-// per-epoch budget on top (most urgent first, so truncation keeps the best
-// prefix).
+// updated working copies. A move is kept only if it strictly shrinks the
+// pairwise gap — a mover whose weight matches or exceeds the gap would just
+// mirror the imbalance onto the destination and bounce straight back next
+// iteration (the classic ping-pong of greedy leveling with multi-unit
+// items), proposing the same VM twice in one round. Proposals are capped;
+// the fleet applies its own per-epoch budget on top (most urgent first, so
+// truncation keeps the best prefix).
 template <typename Load, typename Pred, typename Apply>
 std::vector<FleetMigration> ProposeMoves(const std::vector<FleetHostView>& hosts,
                                          const std::vector<FleetVmView>& vms, Load load,
@@ -91,18 +95,30 @@ std::vector<FleetMigration> ProposeMoves(const std::vector<FleetHostView>& hosts
     const int to = ArgMinHost(h, [&load](const FleetHostView& x) {
       return static_cast<double>(load(x));
     });
-    if (from < 0 || from == to ||
-        load(h[static_cast<size_t>(from)]) - load(h[static_cast<size_t>(to)]) < 2) {
+    if (from < 0 || from == to) {
+      break;
+    }
+    const int gap = load(h[static_cast<size_t>(from)]) - load(h[static_cast<size_t>(to)]);
+    if (gap < 2) {
       break;  // within one VM of level: moving further would oscillate
     }
     const int vm = PickVm(v, from, pred);
     if (vm < 0) {
       break;
     }
-    out.push_back(FleetMigration{vm, from, to});
     FleetVmView& moved = v[static_cast<size_t>(vm)];
     apply(h[static_cast<size_t>(from)], moved, -1);
     apply(h[static_cast<size_t>(to)], moved, +1);
+    const int after =
+        load(h[static_cast<size_t>(from)]) - load(h[static_cast<size_t>(to)]);
+    if (after >= gap || after <= -gap) {
+      // The heaviest mover overshoots: the pair would be no more level than
+      // before (or worse). Undo the trial application and stop the round.
+      apply(h[static_cast<size_t>(from)], moved, +1);
+      apply(h[static_cast<size_t>(to)], moved, -1);
+      break;
+    }
+    out.push_back(FleetMigration{vm, from, to});
     h[static_cast<size_t>(from)].vcpus -= moved.vcpus;
     h[static_cast<size_t>(to)].vcpus += moved.vcpus;
     moved.host = to;

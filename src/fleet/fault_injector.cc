@@ -1,0 +1,77 @@
+#include "src/fleet/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/sim/check.h"
+
+namespace aql {
+
+namespace {
+
+// Stream tags: one derivation family per fault kind so adding a kind (or
+// changing one schedule's draw count) never perturbs the others.
+constexpr uint64_t kCrashTag = 0xfa17c7a50000ULL;
+constexpr uint64_t kDegradeTag = 0xfa17de670000ULL;
+constexpr uint64_t kMigrationTag = 0xfa17a60b0000ULL;
+
+// Walks the boundary grid once per host with a host-private stream and
+// records the boundaries where the per-interval Bernoulli fires. The
+// schedule depends only on (seed, rate, grid) — never on execution.
+void DrawSchedule(std::map<TimeNs, std::vector<int>>& out, uint64_t base_seed,
+                  uint64_t tag, int hosts, double rate_per_sec,
+                  const std::vector<TimeNs>& boundaries) {
+  if (rate_per_sec <= 0.0) {
+    return;
+  }
+  for (int h = 0; h < hosts; ++h) {
+    Rng rng(Rng::DeriveSeed(Rng::DeriveSeed(base_seed, tag), static_cast<uint64_t>(h)));
+    TimeNs prev = 0;
+    for (const TimeNs b : boundaries) {
+      const double interval_sec = ToSec(b - prev);
+      prev = b;
+      const double p = std::min(1.0, rate_per_sec * interval_sec);
+      if (rng.Bernoulli(p)) {
+        out[b].push_back(h);  // host order: the outer loop ascends
+      }
+    }
+  }
+  for (auto& [when, victims] : out) {
+    std::sort(victims.begin(), victims.end());
+  }
+}
+
+const std::vector<int>& EmptySchedule() {
+  static const std::vector<int> kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FleetFaultPlan& plan, uint64_t base_seed, int hosts,
+                             const std::vector<TimeNs>& boundaries)
+    : plan_(plan), mig_rng_(Rng::DeriveSeed(base_seed, kMigrationTag)) {
+  AQL_CHECK(hosts >= 1);
+  AQL_CHECK(plan_.abort_fraction >= 0.0 && plan_.abort_fraction <= 1.0);
+  AQL_CHECK(plan_.migration_failure_prob >= 0.0 && plan_.migration_failure_prob <= 1.0);
+  AQL_CHECK(plan_.max_retries >= 0);
+  DrawSchedule(crashes_, base_seed, kCrashTag, hosts, plan_.crash_rate_per_host_per_sec,
+               boundaries);
+  DrawSchedule(degradations_, base_seed, kDegradeTag, hosts,
+               plan_.degrade_rate_per_host_per_sec, boundaries);
+}
+
+const std::vector<int>& FaultInjector::CrashesAt(TimeNs now) const {
+  const auto it = crashes_.find(now);
+  return it == crashes_.end() ? EmptySchedule() : it->second;
+}
+
+const std::vector<int>& FaultInjector::DegradationsAt(TimeNs now) const {
+  const auto it = degradations_.find(now);
+  return it == degradations_.end() ? EmptySchedule() : it->second;
+}
+
+bool FaultInjector::MigrationAttemptFails() {
+  return mig_rng_.Bernoulli(plan_.migration_failure_prob);
+}
+
+}  // namespace aql

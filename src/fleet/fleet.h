@@ -37,6 +37,14 @@
 // lived in one segment keeps its raw report values bit-for-bit (no wash
 // through a weighted mean), which is what makes the 1-host equivalence hold
 // to the byte.
+//
+// Faults: FleetConfig::fault enables the deterministic fault subsystem
+// (src/fleet/fault_injector.h) — fail-stop host crashes with scheduler-
+// driven VM recovery, mid-copy migration aborts with retry/backoff, and
+// host degradation. All fault effects are applied by the coordinating
+// thread at epoch boundaries, in fixed order, from pre-drawn schedules, so
+// they inherit the byte-identity contract above. An inactive plan (the
+// default) leaves every code path and RNG stream untouched.
 
 #ifndef AQLSCHED_SRC_FLEET_FLEET_H_
 #define AQLSCHED_SRC_FLEET_FLEET_H_
@@ -47,6 +55,7 @@
 #include <vector>
 
 #include "src/fleet/cluster_scheduler.h"
+#include "src/fleet/fault_injector.h"
 #include "src/hv/machine.h"
 #include "src/metrics/report.h"
 #include "src/sim/time.h"
@@ -102,6 +111,10 @@ struct FleetConfig {
   // policy's admission placement — the lever for deliberately skewed
   // layouts (fleet_hotspot). Empty = the policy places.
   std::vector<int> declared_hosts;
+  // Deterministic fault model (src/fleet/fault_injector.h). The default is
+  // inert: a zero-fault plan leaves the run bit-identical to a fleet built
+  // without the fault subsystem (tests/fleet_fault_test.cc).
+  FleetFaultPlan fault;
 };
 
 struct FleetSpec {
@@ -142,6 +155,17 @@ struct FleetHostStats {
   // directions land on the machine that exists after the boundary).
   TimeNs migration_charge = 0;
   bool drained = false;
+  // --- fault bookkeeping (all zero unless FleetConfig::fault is active) ---
+  int crashes = 0;             // fail-stop events suffered by this host
+  bool degraded = false;       // brownout applied (at most one per run)
+  int restarts_in = 0;         // crashed VMs re-placed onto this host
+  int migration_failures = 0;  // outgoing transfers that aborted mid-copy
+  uint64_t aborted_bytes_out = 0;
+  uint64_t aborted_bytes_in = 0;
+  // Executed fault occupancy on this host: wasted transfer halves plus
+  // restart re-provisioning charges (same execution contract as
+  // migration_charge).
+  TimeNs fault_charge = 0;
 };
 
 struct FleetResult {
@@ -158,6 +182,18 @@ struct FleetResult {
   uint64_t migration_bytes = 0;    // dirty-page bytes transferred
   TimeNs migration_charge = 0;     // executed occupancy charged fleet-wide
   int vcpus_total = 0;
+  // --- fault bookkeeping (all zero/1.0 unless FleetConfig::fault is
+  // active; see docs/ARCHITECTURE.md "Fault model & recovery contract") ---
+  int crashes = 0;                // fail-stop host crashes
+  int vm_restarts = 0;            // crashed VMs re-placed by the scheduler
+  TimeNs downtime_total = 0;      // summed per-VM in-window downtime
+  double availability = 1.0;      // vCPU-weighted 1 - downtime / window
+  int migration_failures = 0;     // aborted transfer attempts
+  int migration_retries = 0;      // retry attempts scheduled after aborts
+  int migrations_abandoned = 0;   // moves dropped after the retry cap
+  uint64_t aborted_bytes = 0;     // wasted dirty-page bytes (per end)
+  TimeNs fault_charge = 0;        // executed fault occupancy fleet-wide
+  int degraded_hosts = 0;
 };
 
 // Seed of host `host`'s `rebuild`-th machine build (generation 0 is the

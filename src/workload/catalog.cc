@@ -6,6 +6,7 @@
 
 #include "src/sim/check.h"
 #include "src/workload/bursty_io.h"
+#include "src/workload/checkpoint_restart.h"
 #include "src/workload/cpu_burn.h"
 #include "src/workload/diurnal_web.h"
 #include "src/workload/io_server.h"
@@ -103,6 +104,12 @@ NominalOp NominalOf(const DiurnalWebConfig& c) {
   return NominalOf(c.bursty);
 }
 
+NominalOp NominalOf(const CheckpointRestartConfig& c) {
+  // The compute phase dominates (checkpoint duty cycle is a few percent),
+  // so the nominal op is the solver's.
+  return Nominal(false, 0, c.phase, c.mem);
+}
+
 using Factory =
     std::function<std::vector<std::unique_ptr<WorkloadModel>>(int count,
                                                               const AppOptions& options)>;
@@ -158,6 +165,16 @@ Factory MakeDiurnalFactory(DiurnalWebConfig cfg) {
     std::vector<std::unique_ptr<WorkloadModel>> out;
     for (int i = 0; i < count; ++i) {
       out.push_back(std::make_unique<DiurnalWebModel>(cfg));
+    }
+    return out;
+  };
+}
+
+Factory MakeCheckpointFactory(CheckpointRestartConfig cfg) {
+  return [cfg](int count, const AppOptions&) {
+    std::vector<std::unique_ptr<WorkloadModel>> out;
+    for (int i = 0; i < count; ++i) {
+      out.push_back(std::make_unique<CheckpointRestartModel>(cfg));
     }
     return out;
   };
@@ -347,6 +364,26 @@ const std::vector<Entry>& Entries() {
       c.flash_every = Sec(1);
       c.flash_duration = Ms(200);
       add_diurnal("micro", c);
+    }
+
+    // Daly-style HPC checkpoint/restart: an LLC-resident solver punctuated
+    // by periodic streaming checkpoint write-outs. Its durable state (the
+    // last completed checkpoint) survives fleet rebuilds, so a crashed VM
+    // resumes from its checkpoint instead of restarting cold — the workload
+    // the fault injector's recovery path is built for. The duty cycle is
+    // small enough that window-averaged cursors still classify it LLCF.
+    // NOTE: deliberately pinned OUT of the table3x_recognition expansion
+    // (cell-ID stability rules, docs/BENCH_FORMAT.md); its recognition cell
+    // lives in the fleet_failover sweep.
+    {
+      CheckpointRestartConfig c;
+      c.name = "checkpoint_restart";
+      c.mem = Mem(3 * kMiB, 0.0055);
+      c.ckpt_mem = Mem(16 * kMiB, 0.020);
+      c.checkpoint_interval = Ms(80);
+      c.checkpoint_work = Ms(2);
+      e->push_back(Entry{AppProfile{c.name, VcpuType::kLlcf, "HPC", /*extended=*/true},
+                         MakeCheckpointFactory(c), NominalOf(c)});
     }
 
     return e;

@@ -164,6 +164,17 @@ class WorkloadModel {
   // Resets metric accumulation (called at the end of warm-up).
   virtual void ResetMetrics(TimeNs now) = 0;
 
+  // Durable progress that survives a machine teardown/rebuild (live
+  // migration or crash recovery in the fleet layer, src/fleet/fleet.cc). A
+  // model that checkpoints returns its last durable position from
+  // SaveDurableState; the fleet injects it into the replacement model via
+  // RestoreDurableState before the new machine starts. The default — no
+  // durable state — means the replacement restarts cold, which is the
+  // realistic fail-stop penalty for non-checkpointing guests.
+  virtual bool HasDurableState() const { return false; }
+  virtual double SaveDurableState() const { return 0.0; }
+  virtual void RestoreDurableState(double state) { (void)state; }
+
  protected:
   WorkloadHost* host_ = nullptr;
   int vcpu_ = -1;

@@ -44,6 +44,54 @@ SweepSpec TinySpec() {
   return spec;
 }
 
+// Mid-sweep cell failure: the broken cell gets a structured `error` entry,
+// every sibling still runs to completion, the render step is skipped (it
+// would read the missing result) and failed_cells reports the damage so
+// aql_bench can exit non-zero.
+TEST(SweepEngineTest, FailedCellIsRecordedAndSiblingsStillRun) {
+  SweepSpec spec;
+  spec.name = "partial";
+  spec.description = "engine hardening test sweep";
+  spec.build = [](const SweepOptions&) {
+    std::vector<SweepCell> cells;
+    for (const char* id : {"ok/a", "broken", "ok/b"}) {
+      SweepCell cell;
+      cell.id = id;
+      cell.scenario = ColocationScenario(1);
+      cell.scenario.warmup = Ms(100);
+      cell.scenario.measure = Ms(200);
+      cell.policy = PolicySpec::Xen();
+      cells.push_back(std::move(cell));
+    }
+    cells[1].scenario.vms[0].app = "no_such_app";
+    return cells;
+  };
+  bool rendered = false;
+  spec.render = [&rendered](SweepContext&) { rendered = true; };
+
+  SweepOptions opts;
+  opts.jobs = 2;
+  const SweepResult r = RunSweep(spec, opts);
+
+  EXPECT_EQ(r.failed_cells, 1u);
+  EXPECT_FALSE(rendered);
+  EXPECT_NE(r.text.find("render skipped"), std::string::npos);
+  ASSERT_EQ(r.cells.size(), 3u);
+  EXPECT_TRUE(r.cells[0].error.empty());
+  EXPECT_NE(r.cells[1].error.find("no_such_app"), std::string::npos);
+  EXPECT_TRUE(r.cells[2].error.empty());
+  // The siblings genuinely ran, before and after the failure.
+  EXPECT_GT(r.cells[0].result.events_processed, 0u);
+  EXPECT_GT(r.cells[2].result.events_processed, 0u);
+
+  // JSON carries the structured error for the broken cell and full results
+  // for the others.
+  const std::string json = SweepJson(r, /*include_timing=*/false).Dump();
+  EXPECT_NE(json.find("\"error\": \"unknown application: no_such_app\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"failed_cells\": 1"), std::string::npos);
+}
+
 TEST(SweepEngineTest, ThreadCountDoesNotAffectResults) {
   SweepOptions serial;
   serial.jobs = 1;
@@ -316,6 +364,14 @@ TEST(GoldenTest, FleetDrainQuickMatchesCommittedGolden) {
   ExpectMatchesGolden("fleet_drain");
 }
 
+// Covers the fault-injection pipeline (crashes, recovery placement,
+// migration aborts, degradation) plus its zero-fault control cell — the
+// committed bytes pin both the fault schedule and the "inactive plan
+// changes nothing" contract (tests/fleet_fault_test.cc).
+TEST(GoldenTest, FleetFailoverQuickMatchesCommittedGolden) {
+  ExpectMatchesGolden("fleet_failover");
+}
+
 // Trace-driven cells are byte-identical across --jobs, --shard and
 // --island-threads by construction (replay consumes no RNG, see
 // src/workload/trace_replay.h); the golden plus the islands rerun pin that.
@@ -329,7 +385,8 @@ TEST(GoldenTest, TraceReplayQuickMatchesCommittedGolden) {
 // (no re-baselining allowed; see tests/fleet_parallel_test.cc for the
 // full differential sweep across thread counts).
 TEST(GoldenTest, FleetGoldensReproduceWithParallelIslands) {
-  for (const char* sweep : {"fleet_hotspot", "fleet_consolidation", "fleet_drain"}) {
+  for (const char* sweep :
+       {"fleet_hotspot", "fleet_consolidation", "fleet_drain", "fleet_failover"}) {
     ExpectMatchesGolden(sweep, /*island_threads=*/4);
   }
 }
